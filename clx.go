@@ -1,0 +1,371 @@
+// Package clx implements CLX ("clicks"), the Cluster–Label–Transform
+// paradigm for verifiable programming-by-example data transformation
+// (Jin et al., "CLX: Towards verifiable PBE data transformation", 2019).
+//
+// A CLX session proceeds in three phases:
+//
+//  1. Cluster — the input column is profiled into a hierarchy of pattern
+//     clusters (NewSession), so the user verifies at the pattern level
+//     instead of record by record;
+//  2. Label — the user picks the desired target pattern (Session.Label),
+//     either one of the discovered patterns or a manually specified one;
+//  3. Transform — CLX synthesizes a UniFi program, rendered as regular
+//     expression Replace operations anyone can read
+//     (Transformation.Replaces), applies it (Transformation.Run), and
+//     offers ranked alternative plans for one-click repair
+//     (Transformation.Repair).
+//
+// Quick start:
+//
+//	sess := clx.NewSession([]string{"(734) 645-8397", "734.236.3466", "734-422-8073"})
+//	for _, c := range sess.Clusters() {
+//		fmt.Println(c.Pattern, c.Count, c.Sample)
+//	}
+//	tr, _ := sess.Label(clx.MustParsePattern("<D>3'-'<D>3'-'<D>4"))
+//	fmt.Println(tr.Explain())  // numbered Replace operations (paper Fig. 4)
+//	out, flagged := tr.Run()   // transformed column + unmatched row indices
+//	_, _ = out, flagged
+package clx
+
+import (
+	"fmt"
+	"sort"
+
+	"clx/internal/cluster"
+	"clx/internal/pattern"
+	"clx/internal/replace"
+	"clx/internal/synth"
+	"clx/internal/unifi"
+)
+
+// Pattern is a CLX data pattern: a sequence of quantified tokens such as
+// <D>3'-'<D>3'-'<D>4 (paper §3.1).
+type Pattern = pattern.Pattern
+
+// ParsePattern parses the compact pattern notation, e.g.
+// "'['<U>+'-'<D>+']'".
+func ParsePattern(s string) (Pattern, error) { return pattern.Parse(s) }
+
+// MustParsePattern is ParsePattern but panics on error.
+func MustParsePattern(s string) Pattern { return pattern.MustParse(s) }
+
+// ParseNLPattern parses the natural-language regexp display syntax of
+// Fig. 4, e.g. "/^{digit}{3}-{digit}{3}-{digit}{4}$/".
+func ParseNLPattern(s string) (Pattern, error) { return pattern.ParseNL(s) }
+
+// ParseAnyPattern accepts either notation: the compact form
+// ("<D>3'-'<D>4") or the natural-language form ("{digit}{3}-{digit}{4}").
+func ParseAnyPattern(s string) (Pattern, error) {
+	if p, err := pattern.Parse(s); err == nil {
+		return p, nil
+	}
+	return pattern.ParseNL(s)
+}
+
+// PatternOf derives the pattern of a single string by tokenization (§4.1).
+func PatternOf(s string) Pattern { return pattern.FromString(s) }
+
+// Options configure a session.
+type Options struct {
+	// DiscoverConstants enables constant-token discovery (§4.1); on by
+	// default.
+	DiscoverConstants bool
+	// Alternatives is the number of ranked transformation plans kept per
+	// source pattern for repair (§6.4).
+	Alternatives int
+}
+
+// DefaultOptions returns the prototype configuration.
+func DefaultOptions() Options {
+	return Options{DiscoverConstants: true, Alternatives: synth.DefaultOptions().K}
+}
+
+func (o Options) clusterOptions() cluster.Options {
+	co := cluster.DefaultOptions()
+	co.DiscoverConstants = o.DiscoverConstants
+	return co
+}
+
+func (o Options) synthOptions() synth.Options {
+	so := synth.DefaultOptions()
+	if o.Alternatives > 0 {
+		so.K = o.Alternatives
+	}
+	return so
+}
+
+// Cluster is one pattern cluster of the profiled input.
+type Cluster struct {
+	// Pattern is the cluster's pattern, e.g. '('<D>3')'' '<D>3'-'<D>4.
+	Pattern Pattern
+	// Count is the number of rows in the cluster.
+	Count int
+	// Sample is the first member row.
+	Sample string
+	// Rows are the member row indices.
+	Rows []int
+}
+
+// Session is a Cluster–Label–Transform session over one column of data.
+type Session struct {
+	data []string
+	opts Options
+	h    *cluster.Hierarchy
+}
+
+// NewSession profiles data into pattern clusters (the Cluster phase).
+func NewSession(data []string, opts ...Options) *Session {
+	o := DefaultOptions()
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return &Session{
+		data: data,
+		opts: o,
+		h:    cluster.Profile(data, o.clusterOptions()),
+	}
+}
+
+// Data returns the session's input column.
+func (s *Session) Data() []string { return s.h.Data }
+
+// Clusters returns the leaf pattern clusters in first-seen order — the
+// pattern list shown to the user (paper Fig. 3).
+func (s *Session) Clusters() []Cluster {
+	out := make([]Cluster, 0, len(s.h.Clusters))
+	for _, c := range s.h.Clusters {
+		out = append(out, Cluster{
+			Pattern: c.Pattern, Count: c.Count(), Sample: c.Sample, Rows: c.Rows,
+		})
+	}
+	return out
+}
+
+// Level returns the pattern clusters of one hierarchy level (0 = leaves,
+// 3 = most generic; paper Fig. 6).
+func (s *Session) Level(level int) []Cluster {
+	if level < 0 || level >= len(s.h.Levels) {
+		return nil
+	}
+	var out []Cluster
+	for _, n := range s.h.Levels[level] {
+		c := Cluster{Pattern: n.Pattern, Count: n.Rows()}
+		for _, leaf := range n.Leaves {
+			c.Rows = append(c.Rows, leaf.Rows...)
+		}
+		if len(c.Rows) > 0 {
+			c.Sample = s.data[c.Rows[0]]
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Levels returns the number of hierarchy levels (4 in the prototype).
+func (s *Session) Levels() int { return len(s.h.Levels) }
+
+// Label selects the target pattern and synthesizes the transformation (the
+// Label and Transform phases). The target is usually one of the discovered
+// patterns — possibly from a higher hierarchy level — or a manually
+// written pattern. An error is returned only for an empty target on
+// non-empty data.
+func (s *Session) Label(target Pattern) (*Transformation, error) {
+	if target.IsEmpty() && len(s.data) > 0 {
+		return nil, fmt.Errorf("clx: empty target pattern")
+	}
+	res := synth.Synthesize(s.h, target, s.opts.synthOptions())
+	return &Transformation{sess: s, res: res}, nil
+}
+
+// Transformation is a synthesized data pattern transformation: a UniFi
+// program presented as regexp Replace operations, with ranked alternatives
+// for repair.
+type Transformation struct {
+	sess *Session
+	res  *synth.Result
+	// guards holds content-conditional overrides keyed by source pattern
+	// (RepairWithExamples).
+	guards map[string][]unifi.GuardedCase
+}
+
+// Target returns the labeled target pattern.
+func (t *Transformation) Target() Pattern { return t.res.Target }
+
+// Sources returns the source patterns the program covers, in synthesis
+// order.
+func (t *Transformation) Sources() []Pattern {
+	out := make([]Pattern, len(t.res.Sources))
+	for i, s := range t.res.Sources {
+		out[i] = s.Source
+	}
+	return out
+}
+
+// Replaces returns the program as Replace operations (paper Fig. 4), one
+// per source pattern — or one per guarded case for sources repaired with
+// examples, each annotated with its condition.
+func (t *Transformation) Replaces() replace.Program {
+	var out replace.Program
+	for _, c := range t.guardedProgram().Cases {
+		op := replace.ExplainCase(unifi.Case{Source: c.Source, Plan: c.Plan})
+		if c.Guard != nil {
+			op.Where = c.Guard.String()
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// Explain renders the numbered Replace-operation list shown to the user.
+func (t *Transformation) Explain() string { return t.Replaces().String() }
+
+// ExplainWithPreview renders the Replace operations with a per-operation
+// before/after preview table sampled from the session's data (paper
+// Fig. 8), perOp rows each.
+func (t *Transformation) ExplainWithPreview(perOp int) string {
+	return t.Replaces().PreviewTable(t.sess.data, perOp)
+}
+
+// Program returns the underlying UniFi program.
+func (t *Transformation) Program() unifi.Program { return t.res.Program() }
+
+// Alternatives returns the ranked alternative plans for source i as
+// Replace operations, best first; Alternatives(i)[0] is the plan in effect
+// by default.
+func (t *Transformation) Alternatives(i int) []replace.Op {
+	if i < 0 || i >= len(t.res.Sources) {
+		return nil
+	}
+	src := t.res.Sources[i]
+	out := make([]replace.Op, len(src.Plans))
+	for j, r := range src.Plans {
+		out[j] = replace.ExplainCase(unifi.Case{Source: src.Source, Plan: r.Plan})
+	}
+	return out
+}
+
+// Repair replaces source i's plan with its j-th ranked alternative (§6.4).
+func (t *Transformation) Repair(i, j int) error { return t.res.Repair(i, j) }
+
+// Refine drills into source i's child patterns when none of its plans is
+// right: the source is replaced by one entry per solvable child pattern,
+// each with its own ranked plans (the hierarchy affordance of §4.2).
+func (t *Transformation) Refine(i int) error { return t.res.Refine(i) }
+
+// RepairWithExamples resolves a content conditional — the §7.4 extension
+// for formats where the right transformation depends on a token's value
+// ("picture 001" vs "invoice 001"), which no single pattern-level plan can
+// express. The examples map inputs of one format to their desired outputs;
+// CLX derives the format's pattern, finds the discriminating token, and
+// installs one guarded plan per value group (replacing the format's
+// unconditional plan if it had one). Inputs of the format carrying a
+// keyword outside the example groups are left unmatched (flagged on Run).
+func (t *Transformation) RepairWithExamples(examples map[string]string) error {
+	if len(examples) < 2 {
+		return fmt.Errorf("clx: need at least two examples, got %d", len(examples))
+	}
+	ins := make([]string, 0, len(examples))
+	for in := range examples {
+		ins = append(ins, in)
+	}
+	sort.Strings(ins)
+	// The examples must share one format; its '+'-generalization is the
+	// guarded source pattern.
+	src := cluster.Generalize(pattern.FromString(ins[0]), cluster.QuantToPlus)
+	wants := make([]string, len(ins))
+	for k, in := range ins {
+		if !src.Matches(in) {
+			return fmt.Errorf("clx: example inputs mix formats: %q does not match %s", in, src)
+		}
+		wants[k] = examples[in]
+	}
+	cases, ok := synth.ConditionalSplit(src, ins, wants, t.sess.opts.synthOptions())
+	if !ok {
+		return fmt.Errorf("clx: no conditional split covers the examples for source %s", src)
+	}
+	if t.guards == nil {
+		t.guards = make(map[string][]unifi.GuardedCase)
+	}
+	t.guards[src.Key()] = cases
+	return nil
+}
+
+// guardedProgram assembles the program with any guarded overrides: guarded
+// cases replace same-pattern unconditional sources and otherwise extend the
+// program.
+func (t *Transformation) guardedProgram() unifi.GuardedProgram {
+	var gp unifi.GuardedProgram
+	used := make(map[string]bool)
+	for _, s := range t.res.Sources {
+		if cases, ok := t.guards[s.Source.Key()]; ok {
+			gp.Cases = append(gp.Cases, cases...)
+			used[s.Source.Key()] = true
+			continue
+		}
+		gp.Cases = append(gp.Cases, unifi.GuardedCase{Source: s.Source, Plan: s.Plan()})
+	}
+	var extra []string
+	for k := range t.guards {
+		if !used[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	for _, k := range extra {
+		gp.Cases = append(gp.Cases, t.guards[k]...)
+	}
+	return gp
+}
+
+// Run applies the transformation to the session's column. Rows already in
+// the target pattern are untouched; rows matching no source candidate (or,
+// for guarded sources, carrying an unknown keyword) are copied through and
+// their indices returned in flagged for review (§6.1).
+func (t *Transformation) Run() (out []string, flagged []int) {
+	if len(t.guards) == 0 {
+		return t.res.Transform()
+	}
+	prog := t.guardedProgram()
+	out = make([]string, len(t.sess.data))
+	for i, s := range t.sess.data {
+		if t.res.Target.Matches(s) {
+			out[i] = s
+			continue
+		}
+		v, err := prog.Apply(s)
+		if err != nil {
+			out[i] = s
+			flagged = append(flagged, i)
+			continue
+		}
+		out[i] = v
+	}
+	return out, flagged
+}
+
+// Apply transforms a single new string. ok is false when the string matches
+// neither the target (left as is) nor any applicable source pattern.
+func (t *Transformation) Apply(s string) (string, bool) {
+	if t.res.Target.Matches(s) {
+		return s, true
+	}
+	var (
+		out string
+		err error
+	)
+	if len(t.guards) == 0 {
+		out, err = t.res.Program().Apply(s)
+	} else {
+		out, err = t.guardedProgram().Apply(s)
+	}
+	if err != nil {
+		return s, false
+	}
+	return out, true
+}
+
+// Unmatched returns the input rows covered by no source candidate.
+func (t *Transformation) Unmatched() []int { return t.res.UnmatchedRows }
+
+// Clean returns the input rows that already match the target pattern.
+func (t *Transformation) Clean() []int { return t.res.CleanRows }

@@ -1,0 +1,192 @@
+package clx_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	clx "clx"
+)
+
+var phones = []string{
+	"(734) 645-8397",
+	"(734)586-7252",
+	"734-422-8073",
+	"734.236.3466",
+	"(313) 263-1192",
+	"N/A",
+}
+
+func TestSessionClusters(t *testing.T) {
+	sess := clx.NewSession(phones)
+	cs := sess.Clusters()
+	if len(cs) != 5 {
+		t.Fatalf("clusters = %d, want 5", len(cs))
+	}
+	if cs[0].Pattern.String() != "'('<D>3')'' '<D>3'-'<D>4" {
+		t.Errorf("cluster 0 = %s", cs[0].Pattern)
+	}
+	if cs[0].Count != 2 || cs[0].Sample != "(734) 645-8397" {
+		t.Errorf("cluster 0 = %+v", cs[0])
+	}
+	total := 0
+	for _, c := range cs {
+		total += c.Count
+	}
+	if total != len(phones) {
+		t.Errorf("cluster counts sum to %d, want %d", total, len(phones))
+	}
+}
+
+func TestSessionLevels(t *testing.T) {
+	sess := clx.NewSession(phones)
+	if sess.Levels() != 4 {
+		t.Fatalf("levels = %d", sess.Levels())
+	}
+	leaves := sess.Level(0)
+	if len(leaves) != len(sess.Clusters()) {
+		t.Error("level 0 should equal the leaf clusters")
+	}
+	if got := sess.Level(99); got != nil {
+		t.Error("out-of-range level should be nil")
+	}
+	// Higher levels are no larger than lower ones.
+	for l := 1; l < sess.Levels(); l++ {
+		if len(sess.Level(l)) > len(sess.Level(l-1)) {
+			t.Errorf("level %d larger than level %d", l, l-1)
+		}
+	}
+}
+
+func TestLabelAndRun(t *testing.T) {
+	sess := clx.NewSession(phones)
+	tr, err := sess.Label(clx.MustParsePattern("<D>3'-'<D>3'-'<D>4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, flagged := tr.Run()
+	want := []string{
+		"734-645-8397", "734-586-7252", "734-422-8073",
+		"734-236-3466", "313-263-1192", "N/A",
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("out = %v, want %v", out, want)
+	}
+	if !reflect.DeepEqual(flagged, []int{5}) {
+		t.Errorf("flagged = %v, want [5] (the N/A row)", flagged)
+	}
+	if !reflect.DeepEqual(tr.Unmatched(), []int{5}) {
+		t.Errorf("Unmatched = %v", tr.Unmatched())
+	}
+	if !reflect.DeepEqual(tr.Clean(), []int{2}) {
+		t.Errorf("Clean = %v", tr.Clean())
+	}
+}
+
+func TestExplainIsReadable(t *testing.T) {
+	sess := clx.NewSession(phones)
+	tr, _ := sess.Label(clx.MustParsePattern("<D>3'-'<D>3'-'<D>4"))
+	text := tr.Explain()
+	if !strings.Contains(text, "Replace /^") || !strings.Contains(text, "{digit}{3}") {
+		t.Errorf("Explain() = %q", text)
+	}
+	if len(tr.Sources()) == 0 {
+		t.Error("no sources")
+	}
+	ops := tr.Replaces()
+	if len(ops) != len(tr.Sources()) {
+		t.Errorf("ops = %d, sources = %d", len(ops), len(tr.Sources()))
+	}
+}
+
+func TestApplyNewData(t *testing.T) {
+	sess := clx.NewSession(phones)
+	tr, _ := sess.Label(clx.MustParsePattern("<D>3'-'<D>3'-'<D>4"))
+	out, ok := tr.Apply("(917) 555-0100")
+	if !ok || out != "917-555-0100" {
+		t.Errorf("Apply = %q, %v", out, ok)
+	}
+	// Already-clean input stays.
+	out, ok = tr.Apply("111-222-3333")
+	if !ok || out != "111-222-3333" {
+		t.Errorf("Apply clean = %q, %v", out, ok)
+	}
+	// Unknown format is returned unchanged with ok=false.
+	out, ok = tr.Apply("+1 724-285-5210")
+	if ok || out != "+1 724-285-5210" {
+		t.Errorf("Apply unknown = %q, %v", out, ok)
+	}
+}
+
+func TestRepair(t *testing.T) {
+	data := []string{"31/12/2019", "28/02/2020", "12-31-2019"}
+	sess := clx.NewSession(data)
+	tr, err := sess.Label(clx.MustParsePattern("<D>2'-'<D>2'-'<D>4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alts := tr.Alternatives(0)
+	if len(alts) < 2 {
+		t.Fatalf("alternatives = %d, want several", len(alts))
+	}
+	// Find the day/month swap among the alternatives and select it.
+	found := -1
+	for j, op := range alts {
+		if out, ok := op.Apply("31/12/2019"); ok && out == "12-31-2019" {
+			found = j
+			break
+		}
+	}
+	if found < 0 {
+		t.Fatal("swap plan not among alternatives")
+	}
+	if err := tr.Repair(0, found); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := tr.Run()
+	if out[0] != "12-31-2019" {
+		t.Errorf("after repair out[0] = %q", out[0])
+	}
+	if tr.Repair(0, 9999) == nil || tr.Repair(99, 0) == nil {
+		t.Error("bad repair indices should error")
+	}
+	if tr.Alternatives(-1) != nil {
+		t.Error("Alternatives(-1) should be nil")
+	}
+}
+
+func TestLabelEmptyTarget(t *testing.T) {
+	sess := clx.NewSession(phones)
+	if _, err := sess.Label(clx.Pattern{}); err == nil {
+		t.Error("empty target should error")
+	}
+}
+
+func TestPatternHelpers(t *testing.T) {
+	p, err := clx.ParsePattern("<D>3'-'<D>4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Matches("123-4567") {
+		t.Error("parsed pattern does not match")
+	}
+	if clx.PatternOf("abc-12").String() != "<L>3'-'<D>2" {
+		t.Errorf("PatternOf = %s", clx.PatternOf("abc-12"))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParsePattern on garbage did not panic")
+		}
+	}()
+	clx.MustParsePattern("<bogus>")
+}
+
+// The package example from the doc comment, kept compiling.
+func ExampleNewSession() {
+	sess := clx.NewSession([]string{"(734) 645-8397", "734.236.3466", "734-422-8073"})
+	tr, _ := sess.Label(clx.MustParsePattern("<D>3'-'<D>3'-'<D>4"))
+	out, _ := tr.Run()
+	fmt.Println(out[0])
+	// Output: 734-645-8397
+}

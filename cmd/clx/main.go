@@ -1,0 +1,365 @@
+// Command clx is a command-line front end to the CLX data transformation
+// engine. It reads one string column from a file or stdin — either one
+// value per line, or a column of a CSV file via -csv/-col — and supports
+// the Cluster–Label–Transform workflow:
+//
+//	clx cluster [-levels] [-file data.txt]
+//	    profile the column and print its pattern clusters (optionally the
+//	    full hierarchy)
+//	clx transform -target "<D>3'-'<D>3'-'<D>4" [-file data.txt] [-repair i=j]
+//	    synthesize the transformation to the target pattern, print the
+//	    Replace operations to stderr, and write the transformed column to
+//	    stdout
+//	clx explain -target "{digit}{3}-{digit}{3}-{digit}{4}" [-file data.txt]
+//	    print the synthesized Replace operations with preview tables and
+//	    ranked alternatives
+//	clx drift -against old.txt [-file new.txt]
+//	    compare two columns' pattern inventories: new formats, vanished
+//	    formats, and share shifts — format drift detection for pipelines
+//	clx transform -target P -save prog.json
+//	    additionally save the verified program for later use
+//	clx apply -program prog.json [-file data.txt]
+//	    apply a previously saved program without re-synthesis
+//	clx check -program prog.json -expect want.txt [-file data.txt]
+//	    regression-test a saved program: apply it and diff against the
+//	    expected column, exiting non-zero on any mismatch
+//
+// Target patterns may be written in either notation: compact
+// ("<D>3'-'<D>4") or the natural-language display form
+// ("{digit}{3}-{digit}{4}").
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	clx "clx"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "clx:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: clx <cluster|transform|explain> [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	file := fs.String("file", "", "input file (default: stdin)")
+	target := fs.String("target", "", "target pattern, compact or NL notation")
+	repair := fs.String("repair", "", "comma-separated repairs source=alt, e.g. 0=2,3=1")
+	levels := fs.Bool("levels", false, "print the full pattern hierarchy")
+	csvMode := fs.Bool("csv", false, "parse the input as CSV")
+	col := fs.Int("col", 0, "CSV column index to use (0-based)")
+	header := fs.Bool("header", false, "skip the first CSV row")
+	against := fs.String("against", "", "baseline column file for drift comparison")
+	save := fs.String("save", "", "write the verified program to this file (transform)")
+	program := fs.String("program", "", "saved program file (apply)")
+	spec := fs.String("spec", "", "per-column targets for the table command, e.g. 1=<D>3;2={digit}+")
+	expect := fs.String("expect", "", "expected-output column file (check)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if cmd == "table" {
+		var r io.Reader = stdin
+		if *file != "" {
+			f, err := os.Open(*file)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		return transformCSV(r, stdout, stderr, *spec, *header)
+	}
+	data, err := readColumn(*file, stdin, *csvMode, *col, *header)
+	if err != nil {
+		return err
+	}
+	sess := clx.NewSession(data)
+
+	switch cmd {
+	case "cluster":
+		return printClusters(stdout, sess, *levels)
+	case "drift":
+		if *against == "" {
+			return fmt.Errorf("drift requires -against <baseline file>")
+		}
+		base, err := readColumn(*against, strings.NewReader(""), *csvMode, *col, *header)
+		if err != nil {
+			return err
+		}
+		return printDrift(stdout, clx.NewSession(base), sess)
+	case "wrangle":
+		if *file == "" {
+			return fmt.Errorf("wrangle requires -file (stdin is used for commands)")
+		}
+		return wrangle(data, stdin, stdout)
+	case "check":
+		if *program == "" || *expect == "" {
+			return fmt.Errorf("check requires -program and -expect")
+		}
+		raw, err := os.ReadFile(*program)
+		if err != nil {
+			return err
+		}
+		sp, err := clx.LoadProgram(raw)
+		if err != nil {
+			return err
+		}
+		want, err := readColumn(*expect, strings.NewReader(""), *csvMode, *col, *header)
+		if err != nil {
+			return err
+		}
+		if len(want) != len(data) {
+			return fmt.Errorf("check: %d input rows but %d expected rows", len(data), len(want))
+		}
+		out, _ := sp.Transform(data)
+		mismatches := 0
+		for i := range out {
+			if out[i] != want[i] {
+				mismatches++
+				if mismatches <= 10 {
+					fmt.Fprintf(stdout, "row %d: got %q, want %q (input %q)\n",
+						i, out[i], want[i], data[i])
+				}
+			}
+		}
+		if mismatches > 0 {
+			return fmt.Errorf("check: %d/%d rows mismatch", mismatches, len(out))
+		}
+		fmt.Fprintf(stdout, "ok: %d rows match\n", len(out))
+		return nil
+	case "apply":
+		if *program == "" {
+			return fmt.Errorf("apply requires -program <saved program file>")
+		}
+		raw, err := os.ReadFile(*program)
+		if err != nil {
+			return err
+		}
+		sp, err := clx.LoadProgram(raw)
+		if err != nil {
+			return err
+		}
+		out, flagged := sp.Transform(data)
+		for _, s := range out {
+			fmt.Fprintln(stdout, s)
+		}
+		if len(flagged) > 0 {
+			fmt.Fprintf(stderr, "%d rows matched no pattern and were left unchanged: rows %v\n",
+				len(flagged), flagged)
+		}
+		return nil
+	case "transform", "explain":
+		if *target == "" {
+			return fmt.Errorf("%s requires -target", cmd)
+		}
+		p, err := clx.ParseAnyPattern(*target)
+		if err != nil {
+			return err
+		}
+		tr, err := sess.Label(p)
+		if err != nil {
+			return err
+		}
+		if err := applyRepairs(tr, *repair); err != nil {
+			return err
+		}
+		if cmd == "explain" {
+			return printExplanation(stdout, tr)
+		}
+		if *save != "" {
+			raw, err := tr.Export()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*save, raw, 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Fprint(stderr, tr.Explain())
+		out, flagged := tr.Run()
+		for _, s := range out {
+			fmt.Fprintln(stdout, s)
+		}
+		if len(flagged) > 0 {
+			fmt.Fprintf(stderr, "%d rows matched no pattern and were left unchanged: rows %v\n",
+				len(flagged), flagged)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func readColumn(file string, stdin io.Reader, csvMode bool, col int, header bool) ([]string, error) {
+	r := stdin
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	if csvMode {
+		return readCSVColumn(r, col, header)
+	}
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	text := strings.TrimSuffix(string(raw), "\n")
+	if text == "" {
+		return nil, nil
+	}
+	return strings.Split(text, "\n"), nil
+}
+
+func readCSVColumn(r io.Reader, col int, header bool) ([]string, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var data []string
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return data, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if first && header {
+			first = false
+			continue
+		}
+		first = false
+		if col < 0 || col >= len(rec) {
+			return nil, fmt.Errorf("csv row has %d columns, want index %d", len(rec), col)
+		}
+		data = append(data, rec[col])
+	}
+}
+
+func printClusters(w io.Writer, sess *clx.Session, levels bool) error {
+	if levels {
+		for l := sess.Levels() - 1; l >= 0; l-- {
+			fmt.Fprintf(w, "level %d:\n", l)
+			for _, c := range sess.Level(l) {
+				fmt.Fprintf(w, "  %-40s %6d rows   e.g. %s\n", c.Pattern, c.Count, c.Sample)
+			}
+		}
+		return nil
+	}
+	for _, c := range sess.Clusters() {
+		fmt.Fprintf(w, "%-40s %6d rows   e.g. %s\n", c.Pattern, c.Count, c.Sample)
+	}
+	return nil
+}
+
+// printDrift reports the pattern-inventory differences between a baseline
+// column and the current one: formats that appeared, vanished, or shifted
+// share by more than one percentage point.
+func printDrift(w io.Writer, base, cur *clx.Session) error {
+	share := func(s *clx.Session) (map[string]float64, map[string]clx.Cluster) {
+		total := len(s.Data())
+		shares := map[string]float64{}
+		cs := map[string]clx.Cluster{}
+		for _, c := range s.Clusters() {
+			k := c.Pattern.String()
+			shares[k] = float64(c.Count) / float64(max(total, 1))
+			cs[k] = c
+		}
+		return shares, cs
+	}
+	baseShare, baseC := share(base)
+	curShare, curC := share(cur)
+
+	var newPats, gonePats, shifted []string
+	for k := range curShare {
+		if _, ok := baseShare[k]; !ok {
+			newPats = append(newPats, k)
+		} else if d := curShare[k] - baseShare[k]; d > 0.01 || d < -0.01 {
+			shifted = append(shifted, k)
+		}
+	}
+	for k := range baseShare {
+		if _, ok := curShare[k]; !ok {
+			gonePats = append(gonePats, k)
+		}
+	}
+	sort.Strings(newPats)
+	sort.Strings(gonePats)
+	sort.Strings(shifted)
+
+	if len(newPats)+len(gonePats)+len(shifted) == 0 {
+		fmt.Fprintln(w, "no pattern drift")
+		return nil
+	}
+	for _, k := range newPats {
+		c := curC[k]
+		fmt.Fprintf(w, "NEW      %-36s %5.1f%%   e.g. %s\n", k, 100*curShare[k], c.Sample)
+	}
+	for _, k := range gonePats {
+		fmt.Fprintf(w, "VANISHED %-36s was %4.1f%%   e.g. %s\n", k, 100*baseShare[k], baseC[k].Sample)
+	}
+	for _, k := range shifted {
+		fmt.Fprintf(w, "SHIFT    %-36s %5.1f%% -> %.1f%%\n", k, 100*baseShare[k], 100*curShare[k])
+	}
+	return nil
+}
+
+func printExplanation(w io.Writer, tr *clx.Transformation) error {
+	fmt.Fprint(w, tr.ExplainWithPreview(3))
+	for i := range tr.Sources() {
+		alts := tr.Alternatives(i)
+		if len(alts) <= 1 {
+			continue
+		}
+		fmt.Fprintf(w, "alternatives for source %d:\n", i)
+		for j, op := range alts {
+			marker := " "
+			if j == 0 {
+				marker = "*"
+			}
+			fmt.Fprintf(w, "  %s %d: replace with '%s'\n", marker, j, op.Replacement)
+		}
+	}
+	return nil
+}
+
+func applyRepairs(tr *clx.Transformation, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("bad repair %q, want source=alt", part)
+		}
+		i, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return err
+		}
+		j, err := strconv.Atoi(kv[1])
+		if err != nil {
+			return err
+		}
+		if err := tr.Repair(i, j); err != nil {
+			return err
+		}
+	}
+	return nil
+}

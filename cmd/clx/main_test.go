@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, stdin string, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	err = run(args, strings.NewReader(stdin), &out, &errw)
+	return out.String(), errw.String(), err
+}
+
+const phoneInput = "(734) 645-8397\n(734)586-7252\n734-422-8073\n734.236.3466\nN/A\n"
+
+func TestClusterCommand(t *testing.T) {
+	out, _, err := runCLI(t, phoneInput, "cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"'('<D>3')'' '<D>3'-'<D>4", "<U>'/'<U>", "e.g. (734) 645-8397"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClusterLevels(t *testing.T) {
+	out, _, err := runCLI(t, phoneInput, "cluster", "-levels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"level 3:", "level 0:", "<AN>+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("levels output missing %q", want)
+		}
+	}
+}
+
+func TestTransformCommand(t *testing.T) {
+	out, errw, err := runCLI(t, phoneInput, "transform", "-target", "<D>3'-'<D>3'-'<D>4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines := []string{"734-645-8397", "734-586-7252", "734-422-8073", "734-236-3466", "N/A"}
+	gotLines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(gotLines) != len(wantLines) {
+		t.Fatalf("stdout lines = %d, want %d:\n%s", len(gotLines), len(wantLines), out)
+	}
+	for i, want := range wantLines {
+		if gotLines[i] != want {
+			t.Errorf("line %d = %q, want %q", i, gotLines[i], want)
+		}
+	}
+	if !strings.Contains(errw, "Replace /^") {
+		t.Errorf("stderr missing program: %q", errw)
+	}
+	if !strings.Contains(errw, "left unchanged") {
+		t.Errorf("stderr missing flagged-row note: %q", errw)
+	}
+}
+
+func TestTransformNLTarget(t *testing.T) {
+	out, _, err := runCLI(t, "(917) 555-0100\n", "transform",
+		"-target", "{digit}{3}-{digit}{3}-{digit}{4}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "917-555-0100") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestExplainCommand(t *testing.T) {
+	out, _, err := runCLI(t, phoneInput, "explain", "-target", "<D>3'-'<D>3'-'<D>4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "->") {
+		t.Errorf("explain output missing preview: %q", out)
+	}
+	if !strings.Contains(out, "alternatives for source") {
+		t.Errorf("explain output missing alternatives: %q", out)
+	}
+}
+
+func TestRepairFlag(t *testing.T) {
+	in := "31/12/2019\n28/02/2020\n12-31-2019\n"
+	// Default keeps field order; repair 0=1 selects the swap.
+	out0, _, err := runCLI(t, in, "transform", "-target", "<D>2'-'<D>2'-'<D>4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1, _, err := runCLI(t, in, "transform", "-target", "<D>2'-'<D>2'-'<D>4", "-repair", "0=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out0 == out1 {
+		t.Error("repair had no effect")
+	}
+	if !strings.Contains(out1, "12-31-2019") {
+		t.Errorf("repaired output = %q", out1)
+	}
+}
+
+func TestCSVInput(t *testing.T) {
+	csvIn := "name,phone\nalice,(734) 645-8397\nbob,734.236.3466\n"
+	out, _, err := runCLI(t, csvIn, "cluster", "-csv", "-col", "1", "-header")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "'('<D>3')'' '<D>3'-'<D>4") {
+		t.Errorf("csv cluster output = %q", out)
+	}
+	if strings.Contains(out, "phone") {
+		t.Error("header row should be skipped")
+	}
+}
+
+func TestCSVColumnOutOfRange(t *testing.T) {
+	if _, _, err := runCLI(t, "a,b\n", "cluster", "-csv", "-col", "5"); err == nil {
+		t.Error("out-of-range column should error")
+	}
+}
+
+func TestFileInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "col.txt")
+	if err := os.WriteFile(path, []byte("123-4567\n999-0000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runCLI(t, "", "cluster", "-file", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "<D>3'-'<D>4") {
+		t.Errorf("file cluster output = %q", out)
+	}
+	if _, _, err := runCLI(t, "", "cluster", "-file", filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"transform"},                       // missing -target
+		{"transform", "-target", "{bogus}"}, // bad in both notations
+		{"transform", "-target", "<D>", "-repair", "xx"}, // bad repair
+		{"transform", "-target", "<D>", "-repair", "0=999"},
+	}
+	for _, args := range cases {
+		if _, _, err := runCLI(t, "1\n2\n", args...); err == nil {
+			t.Errorf("args %v should error", args)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	out, _, err := runCLI(t, "", "cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("empty input should produce no clusters: %q", out)
+	}
+}
+
+func TestSaveAndApply(t *testing.T) {
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "prog.json")
+	_, _, err := runCLI(t, phoneInput, "transform",
+		"-target", "<D>3'-'<D>3'-'<D>4", "-save", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(prog); err != nil {
+		t.Fatal("saved program missing:", err)
+	}
+	// Apply the saved program to fresh data without re-synthesis.
+	out, errw, err := runCLI(t, "(917) 555-0100\nN/A\n", "apply", "-program", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "917-555-0100" || lines[1] != "N/A" {
+		t.Errorf("apply output = %v", lines)
+	}
+	if !strings.Contains(errw, "left unchanged") {
+		t.Errorf("stderr = %q", errw)
+	}
+	// Missing/bad program file errors.
+	if _, _, err := runCLI(t, "x\n", "apply"); err == nil {
+		t.Error("apply without -program should error")
+	}
+	if _, _, err := runCLI(t, "x\n", "apply", "-program", filepath.Join(dir, "nope.json")); err == nil {
+		t.Error("missing program file should error")
+	}
+}

@@ -1,0 +1,118 @@
+// Whole-CSV transformation: apply per-column target patterns to a CSV file
+// in one pass.
+//
+//	clx table -csv -file data.csv -header \
+//	    -spec "1=<D>3'-'<D>3'-'<D>4;3={digit}{2}/{digit}{2}"
+//
+// Each spec entry is column=target (0-based column index; either pattern
+// notation). Unspecified columns pass through; cells matching no known
+// format stay unchanged and are reported on stderr.
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	clx "clx"
+)
+
+// columnSpec is one column=target entry.
+type columnSpec struct {
+	col    int
+	target clx.Pattern
+}
+
+func parseSpec(spec string) ([]columnSpec, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("table requires -spec column=target[;column=target...]")
+	}
+	var out []columnSpec
+	seen := map[int]bool{}
+	for _, part := range strings.Split(spec, ";") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad spec entry %q, want column=target", part)
+		}
+		col, err := strconv.Atoi(strings.TrimSpace(kv[0]))
+		if err != nil || col < 0 {
+			return nil, fmt.Errorf("bad column index %q", kv[0])
+		}
+		if seen[col] {
+			return nil, fmt.Errorf("column %d specified twice", col)
+		}
+		seen[col] = true
+		target, err := clx.ParseAnyPattern(strings.TrimSpace(kv[1]))
+		if err != nil {
+			return nil, fmt.Errorf("column %d: %w", col, err)
+		}
+		out = append(out, columnSpec{col: col, target: target})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].col < out[b].col })
+	return out, nil
+}
+
+// transformCSV reads all records, synthesizes one transformation per
+// specified column, applies them, and writes the result.
+func transformCSV(in io.Reader, stdout, stderr io.Writer, spec string, header bool) error {
+	specs, err := parseSpec(spec)
+	if err != nil {
+		return err
+	}
+	cr := csv.NewReader(in)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return err
+	}
+	var head []string
+	if header && len(records) > 0 {
+		head, records = records[0], records[1:]
+	}
+	for _, cs := range specs {
+		for i, rec := range records {
+			if cs.col >= len(rec) {
+				return fmt.Errorf("row %d has %d columns, spec needs index %d",
+					i, len(rec), cs.col)
+			}
+		}
+	}
+	for _, cs := range specs {
+		column := make([]string, len(records))
+		for i, rec := range records {
+			column[i] = rec[cs.col]
+		}
+		tr, err := clx.NewSession(column).Label(cs.target)
+		if err != nil {
+			return fmt.Errorf("column %d: %w", cs.col, err)
+		}
+		out, flagged := tr.Run()
+		for i := range records {
+			records[i][cs.col] = out[i]
+		}
+		name := strconv.Itoa(cs.col)
+		if head != nil && cs.col < len(head) {
+			name = head[cs.col]
+		}
+		if len(flagged) > 0 {
+			fmt.Fprintf(stderr, "column %s: %d cells left unchanged (rows %v)\n",
+				name, len(flagged), flagged)
+		} else {
+			fmt.Fprintf(stderr, "column %s: all cells transformed\n", name)
+		}
+	}
+	cw := csv.NewWriter(stdout)
+	if head != nil {
+		if err := cw.Write(head); err != nil {
+			return err
+		}
+	}
+	if err := cw.WriteAll(records); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

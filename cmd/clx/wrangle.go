@@ -1,0 +1,204 @@
+// The interactive wrangling session: a line-oriented version of the CLX
+// interaction model (paper Fig. 5). The user sees the pattern clusters,
+// labels the target, reviews each suggested Replace operation with its
+// preview, repairs from ranked alternatives or refines into child
+// patterns, and finally writes the result — verification happens at the
+// pattern level throughout.
+//
+//	clx wrangle -file data.txt
+//
+// Commands:
+//
+//	patterns            show the cluster display (again)
+//	levels              show the full hierarchy
+//	label <pattern>     choose the target (either notation, or #N for the
+//	                    N-th displayed cluster pattern)
+//	ops                 show the suggested Replace operations with previews
+//	alts <i>            show ranked alternatives for source i
+//	repair <i> <j>      select alternative j for source i
+//	refine <i>          split source i into its child patterns
+//	run                 apply and show a summary
+//	write <file>        apply and write the transformed column
+//	save <file>         save the verified program as JSON
+//	quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	clx "clx"
+)
+
+func wrangle(data []string, stdin io.Reader, stdout io.Writer) error {
+	sess := clx.NewSession(data)
+	fmt.Fprintf(stdout, "%d rows in %d patterns:\n", len(data), len(sess.Clusters()))
+	printPatternList(stdout, sess)
+	fmt.Fprintln(stdout, `label the desired pattern with: label <pattern> (or "label #N")`)
+
+	var tr *clx.Transformation
+	sc := bufio.NewScanner(stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	prompt := func() { fmt.Fprint(stdout, "clx> ") }
+	needTr := func() bool {
+		if tr == nil {
+			fmt.Fprintln(stdout, "no target labeled yet; use: label <pattern>")
+			return false
+		}
+		return true
+	}
+
+	for prompt(); sc.Scan(); prompt() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		cmd, arg, _ := strings.Cut(line, " ")
+		arg = strings.TrimSpace(arg)
+		switch cmd {
+		case "quit", "exit", "q":
+			return nil
+		case "patterns":
+			printPatternList(stdout, sess)
+		case "levels":
+			_ = printClusters(stdout, sess, true)
+		case "label":
+			target, err := resolvePattern(sess, arg)
+			if err != nil {
+				fmt.Fprintln(stdout, "error:", err)
+				continue
+			}
+			t, err := sess.Label(target)
+			if err != nil {
+				fmt.Fprintln(stdout, "error:", err)
+				continue
+			}
+			tr = t
+			fmt.Fprintf(stdout, "target %s; %d Replace operations suggested:\n",
+				target, len(tr.Sources()))
+			fmt.Fprint(stdout, tr.ExplainWithPreview(2))
+		case "ops":
+			if needTr() {
+				fmt.Fprint(stdout, tr.ExplainWithPreview(2))
+			}
+		case "alts":
+			if !needTr() {
+				continue
+			}
+			i, err := strconv.Atoi(arg)
+			if err != nil || tr.Alternatives(i) == nil {
+				fmt.Fprintln(stdout, "usage: alts <source index>")
+				continue
+			}
+			for j, op := range tr.Alternatives(i) {
+				marker := " "
+				if j == 0 {
+					marker = "*"
+				}
+				fmt.Fprintf(stdout, "%s %d: replace with '%s'\n", marker, j, op.Replacement)
+			}
+		case "repair":
+			if !needTr() {
+				continue
+			}
+			var i, j int
+			if _, err := fmt.Sscanf(arg, "%d %d", &i, &j); err != nil {
+				fmt.Fprintln(stdout, "usage: repair <source> <alternative>")
+				continue
+			}
+			if err := tr.Repair(i, j); err != nil {
+				fmt.Fprintln(stdout, "error:", err)
+				continue
+			}
+			fmt.Fprintf(stdout, "source %d now uses alternative %d\n", i, j)
+		case "refine":
+			if !needTr() {
+				continue
+			}
+			i, err := strconv.Atoi(arg)
+			if err != nil {
+				fmt.Fprintln(stdout, "usage: refine <source index>")
+				continue
+			}
+			if err := tr.Refine(i); err != nil {
+				fmt.Fprintln(stdout, "error:", err)
+				continue
+			}
+			fmt.Fprintf(stdout, "source %d split into child patterns; %d operations now:\n",
+				i, len(tr.Sources()))
+			fmt.Fprint(stdout, tr.ExplainWithPreview(2))
+		case "run":
+			if !needTr() {
+				continue
+			}
+			out, flagged := tr.Run()
+			post := clx.NewSession(out)
+			fmt.Fprintf(stdout, "transformed %d rows; %d flagged for review\n",
+				len(out)-len(flagged), len(flagged))
+			fmt.Fprintln(stdout, "post-transform patterns:")
+			printPatternList(stdout, post)
+		case "write":
+			if !needTr() {
+				continue
+			}
+			if arg == "" {
+				fmt.Fprintln(stdout, "usage: write <file>")
+				continue
+			}
+			out, flagged := tr.Run()
+			if err := os.WriteFile(arg, []byte(strings.Join(out, "\n")+"\n"), 0o644); err != nil {
+				fmt.Fprintln(stdout, "error:", err)
+				continue
+			}
+			fmt.Fprintf(stdout, "wrote %d rows to %s (%d flagged)\n", len(out), arg, len(flagged))
+		case "save":
+			if !needTr() {
+				continue
+			}
+			if arg == "" {
+				fmt.Fprintln(stdout, "usage: save <file>")
+				continue
+			}
+			raw, err := tr.Export()
+			if err != nil {
+				fmt.Fprintln(stdout, "error:", err)
+				continue
+			}
+			if err := os.WriteFile(arg, raw, 0o644); err != nil {
+				fmt.Fprintln(stdout, "error:", err)
+				continue
+			}
+			fmt.Fprintf(stdout, "saved program to %s\n", arg)
+		default:
+			fmt.Fprintf(stdout, "unknown command %q (patterns, levels, label, ops, alts, repair, refine, run, write, save, quit)\n", cmd)
+		}
+	}
+	return sc.Err()
+}
+
+func printPatternList(w io.Writer, sess *clx.Session) {
+	for i, c := range sess.Clusters() {
+		fmt.Fprintf(w, "  #%-3d %-40s %6d rows   e.g. %s\n", i+1, c.Pattern, c.Count, c.Sample)
+	}
+}
+
+// resolvePattern accepts "#N" (the N-th displayed cluster) or a pattern in
+// either notation.
+func resolvePattern(sess *clx.Session, arg string) (clx.Pattern, error) {
+	if arg == "" {
+		return clx.Pattern{}, fmt.Errorf("label needs a pattern or #N")
+	}
+	if strings.HasPrefix(arg, "#") {
+		n, err := strconv.Atoi(arg[1:])
+		cs := sess.Clusters()
+		if err != nil || n < 1 || n > len(cs) {
+			return clx.Pattern{}, fmt.Errorf("no pattern %s (have #1..#%d)", arg, len(cs))
+		}
+		return cs[n-1].Pattern, nil
+	}
+	return clx.ParseAnyPattern(arg)
+}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "col.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestWrangleSession(t *testing.T) {
+	file := writeTemp(t, phoneInput)
+	script := strings.Join([]string{
+		"patterns",
+		"label #3", // <D>3'-'<D>3'-'<D>4 is the third displayed pattern
+		"ops",
+		"run",
+		"quit",
+	}, "\n") + "\n"
+	out, _, err := runCLI(t, script, "wrangle", "-file", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"5 rows in", // wait: phoneInput has 5 rows
+		"#1",
+		"Replace /^",
+		"post-transform patterns:",
+		"flagged for review",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("wrangle output missing %q:\n%s", want, out)
+		}
+	}
+	// The post-transform display should show the unified pattern covering
+	// 4 of the 5 rows.
+	if !strings.Contains(out, "<D>3'-'<D>3'-'<D>4") {
+		t.Errorf("post-transform pattern missing:\n%s", out)
+	}
+}
+
+func TestWrangleRepairFlow(t *testing.T) {
+	file := writeTemp(t, "31/12/2019\n28/02/2020\n12-31-2019\n")
+	script := strings.Join([]string{
+		"label <D>2'-'<D>2'-'<D>4",
+		"alts 0",
+		"repair 0 1",
+		"run",
+		"quit",
+	}, "\n") + "\n"
+	out, _, err := runCLI(t, script, "wrangle", "-file", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "source 0 now uses alternative 1") {
+		t.Errorf("repair confirmation missing:\n%s", out)
+	}
+	if !strings.Contains(out, "* 0: replace with") {
+		t.Errorf("alternatives listing missing:\n%s", out)
+	}
+}
+
+func TestWrangleSaveAndWrite(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "col.txt")
+	if err := os.WriteFile(file, []byte("734.236.3466\n111-222-3333\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outFile := filepath.Join(dir, "out.txt")
+	progFile := filepath.Join(dir, "prog.json")
+	script := strings.Join([]string{
+		"label {digit}{3}-{digit}{3}-{digit}{4}",
+		"write " + outFile,
+		"save " + progFile,
+		"quit",
+	}, "\n") + "\n"
+	if _, _, err := runCLI(t, script, "wrangle", "-file", file); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "734-236-3466") {
+		t.Errorf("written column = %q", raw)
+	}
+	if _, err := os.Stat(progFile); err != nil {
+		t.Error("saved program missing")
+	}
+}
+
+func TestWrangleErrors(t *testing.T) {
+	file := writeTemp(t, "a\nb\n")
+	script := strings.Join([]string{
+		"run",           // no target yet
+		"label #99",     // bad index
+		"label {bogus}", // bad pattern
+		"bogus-command",
+		"quit",
+	}, "\n") + "\n"
+	out, _, err := runCLI(t, script, "wrangle", "-file", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"no target labeled", "no pattern #99", "error:", "unknown command"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// wrangle without -file errors (stdin carries commands).
+	if _, _, err := runCLI(t, "quit\n", "wrangle"); err == nil {
+		t.Error("wrangle without -file should error")
+	}
+}
+
+func TestTableCommand(t *testing.T) {
+	csvIn := strings.Join([]string{
+		"name,phone,joined",
+		"Eran Yahav,(734) 645-8397,31/12/2019",
+		"Kate Fisher,313.263.1192,28/02/2020",
+		"Bill Gates,425-555-0100,12-31-2018",
+	}, "\n") + "\n"
+	out, errw, err := runCLI(t, csvIn, "table", "-header",
+		"-spec", "1=<D>3'-'<D>3'-'<D>4;2=<D>2'-'<D>2'-'<D>4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "name,phone,joined" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "734-645-8397") || !strings.Contains(lines[2], "313-263-1192") {
+		t.Errorf("phones not normalized: %v", lines[1:])
+	}
+	if !strings.Contains(lines[1], "31-12-2019") {
+		t.Errorf("dates not normalized: %v", lines[1])
+	}
+	if !strings.Contains(errw, "column phone") {
+		t.Errorf("stderr = %q", errw)
+	}
+}
+
+func TestTableCommandErrors(t *testing.T) {
+	cases := [][]string{
+		{"table"},                         // missing spec
+		{"table", "-spec", "x=y"},         // bad column
+		{"table", "-spec", "0=<D>;0=<D>"}, // duplicate column
+		{"table", "-spec", "0={bogus}"},   // bad pattern
+		{"table", "-spec", "5=<D>"},       // out of range for data
+	}
+	for _, args := range cases {
+		if _, _, err := runCLI(t, "a,b\n", args...); err == nil {
+			t.Errorf("args %v should error", args)
+		}
+	}
+}
+
+func TestCheckCommand(t *testing.T) {
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "prog.json")
+	if _, _, err := runCLI(t, "(734) 645-8397\n734.236.3466\n", "transform",
+		"-target", "<D>3'-'<D>3'-'<D>4", "-save", prog); err != nil {
+		t.Fatal(err)
+	}
+	expectOK := filepath.Join(dir, "want.txt")
+	if err := os.WriteFile(expectOK, []byte("917-555-0100\n313-111-2222\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runCLI(t, "(917) 555-0100\n313.111.2222\n", "check",
+		"-program", prog, "-expect", expectOK)
+	if err != nil {
+		t.Fatalf("check failed: %v (%s)", err, out)
+	}
+	if !strings.Contains(out, "ok: 2 rows match") {
+		t.Errorf("out = %q", out)
+	}
+	// A mismatch exits with an error and prints the diff.
+	expectBad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(expectBad, []byte("999-999-9999\n313-111-2222\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err = runCLI(t, "(917) 555-0100\n313.111.2222\n", "check",
+		"-program", prog, "-expect", expectBad)
+	if err == nil {
+		t.Error("mismatching check should error")
+	}
+	if !strings.Contains(out, `got "917-555-0100", want "999-999-9999"`) {
+		t.Errorf("diff missing: %q", out)
+	}
+	// Row-count mismatch and missing flags error.
+	if _, _, err := runCLI(t, "a\n", "check", "-program", prog, "-expect", expectOK); err == nil {
+		t.Error("row-count mismatch should error")
+	}
+	if _, _, err := runCLI(t, "a\n", "check", "-program", prog); err == nil {
+		t.Error("check without -expect should error")
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"testing"
+)
+
+// Every experiment in the printing order is wired, and unknown ids error.
+func TestExperimentWiring(t *testing.T) {
+	exps := experimentsMap()
+	for _, id := range allOrder() {
+		if exps[id] == nil {
+			t.Errorf("experiment %q in allOrder but not wired", id)
+		}
+	}
+	if err := runExperiment("nope"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+// The cheap single experiments print without panicking. (The expensive
+// suite/study runs are covered by internal/experiments tests.)
+func TestCheapExperimentsRun(t *testing.T) {
+	for _, id := range []string{"table5", "table6", "scaling"} {
+		if err := runExperiment(id); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command clxd serves the CLX engine over HTTP as a small JSON API, the
+// packaging a data-wrangling front end or pipeline would integrate:
+//
+//	clxd -addr :8080
+//
+//	POST /v1/cluster    {"rows": [...]}                 -> pattern clusters
+//	POST /v1/transform  {"rows": [...], "target": "…",  -> program + output
+//	                     "repairs": [{"source":0,"alt":1}]}
+//	GET  /healthz
+//
+// Target patterns accept both notations ("<D>3'-'<D>4" or
+// "{digit}{3}-{digit}{4}"). The transform response carries, per source
+// pattern, the rendered Replace operation, a before/after preview, and the
+// ranked alternatives, so a client can implement the full
+// verify-and-repair loop.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	log.Printf("clxd listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, newMux()))
+}
+
+func newMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	mux.HandleFunc("POST /v1/cluster", handleCluster)
+	mux.HandleFunc("POST /v1/transform", handleTransform)
+	mux.HandleFunc("POST /v1/tables/unify", handleUnify)
+	mux.HandleFunc("POST /v1/apply", handleApply)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
+	var v T
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return v, false
+	}
+	return v, true
+}

@@ -1,0 +1,99 @@
+package clx_test
+
+import (
+	"strings"
+	"testing"
+
+	clx "clx"
+)
+
+// The §7.4 conditional extension through the public API: the "picture vs
+// invoice" column is unsolvable with a single plan per pattern; a handful
+// of examples installs guarded plans.
+func TestRepairWithExamples(t *testing.T) {
+	column := []string{
+		"picture 001", "invoice 001", "picture 002", "invoice 002",
+		"picture 003", "invoice 003",
+		"PIC-777", // already in the target format
+	}
+	want := []string{
+		"PIC-001", "DOC-001", "PIC-002", "DOC-002",
+		"PIC-003", "DOC-003", "PIC-777",
+	}
+	sess := clx.NewSession(column)
+	tr, err := sess.Label(clx.MustParsePattern("<U>+'-'<D>+"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unconditional program cannot be right for both keyword groups.
+	out, _ := tr.Run()
+	wrongBefore := 0
+	for i := range out {
+		if out[i] != want[i] {
+			wrongBefore++
+		}
+	}
+	if wrongBefore == 0 {
+		t.Fatal("unconditional program should not solve a content conditional")
+	}
+
+	// Two examples per keyword group: one is not enough to tell the
+	// constant part ('PIC') from the variable part (the id).
+	err = tr.RepairWithExamples(map[string]string{
+		"picture 001": "PIC-001",
+		"picture 002": "PIC-002",
+		"invoice 001": "DOC-001",
+		"invoice 002": "DOC-002",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, flagged := tr.Run()
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %q, want %q", i, out[i], want[i])
+		}
+	}
+	if len(flagged) != 0 {
+		t.Errorf("flagged = %v", flagged)
+	}
+	// The guarded program generalizes to new ids of known keywords and
+	// refuses unknown keywords.
+	if v, ok := tr.Apply("picture 999"); !ok || v != "PIC-999" {
+		t.Errorf("Apply(picture 999) = %q, %v", v, ok)
+	}
+	if _, ok := tr.Apply("receipt 001"); ok {
+		t.Error("unknown keyword should not be transformed")
+	}
+	// The explanation shows the conditions.
+	text := tr.Explain()
+	if !strings.Contains(text, `where token 1 is "picture"`) ||
+		!strings.Contains(text, `where token 1 is "invoice"`) {
+		t.Errorf("explanation lacks guards:\n%s", text)
+	}
+}
+
+func TestRepairWithExamplesErrors(t *testing.T) {
+	sess := clx.NewSession([]string{"picture 001", "invoice 001", "PIC-777"})
+	tr, err := sess.Label(clx.MustParsePattern("<U>+'-'<D>+"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.RepairWithExamples(nil); err == nil {
+		t.Error("too few examples should error")
+	}
+	if err := tr.RepairWithExamples(map[string]string{
+		"picture 001": "PIC-001",
+		"12/34/5678":  "x", // different format
+	}); err == nil {
+		t.Error("mixed-format examples should error")
+	}
+	// Conflicting examples for the same keyword cannot split.
+	if err := tr.RepairWithExamples(map[string]string{
+		"picture 001": "PIC-001",
+		"picture 002": "DOC-002",
+	}); err == nil {
+		t.Error("conflicting examples should error")
+	}
+}

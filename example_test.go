@@ -1,0 +1,88 @@
+package clx_test
+
+import (
+	"fmt"
+
+	clx "clx"
+)
+
+// Profiling a column shows the format inventory — the paper's Figure 3
+// view.
+func ExampleSession_Clusters() {
+	sess := clx.NewSession([]string{
+		"(734) 645-8397", "(313) 263-1192", "734-422-8073", "734.236.3466",
+	})
+	for _, c := range sess.Clusters() {
+		fmt.Printf("%s  %d rows\n", c.Pattern, c.Count)
+	}
+	// Output:
+	// '('<D>3')'' '<D>3'-'<D>4  2 rows
+	// <D>3'-'<D>3'-'<D>4  1 rows
+	// <D>3'.'<D>3'.'<D>4  1 rows
+}
+
+// Labeling a target pattern synthesizes the transformation as readable
+// Replace operations — the paper's Figure 4 view.
+func ExampleSession_Label() {
+	sess := clx.NewSession([]string{"(734) 645-8397", "734-422-8073"})
+	tr, _ := sess.Label(clx.MustParsePattern("<D>3'-'<D>3'-'<D>4"))
+	fmt.Print(tr.Explain())
+	// Output:
+	// 1 Replace /^\(({digit}{3})\) ({digit}{3}\-{digit}{4})$/ in column with '$1-$2'
+}
+
+// Targets can be written in the natural-language display syntax too.
+func ExampleParseNLPattern() {
+	p, _ := clx.ParseNLPattern("/^[{upper}+-{digit}+]$/")
+	fmt.Println(p)
+	fmt.Println(p.Matches("[CPT-115]"))
+	// Output:
+	// '['<U>+'-'<D>+']'
+	// true
+}
+
+// Ambiguous transformations are repaired by choosing a ranked alternative
+// (paper §6.4): here the default keeps the field order of a date, the
+// alternative swaps day and month.
+func ExampleTransformation_Repair() {
+	sess := clx.NewSession([]string{"31/12/2019", "28/02/2020", "12-31-2019"})
+	tr, _ := sess.Label(clx.MustParsePattern("<D>2'-'<D>2'-'<D>4"))
+	out, _ := tr.Run()
+	fmt.Println("default:", out[0])
+	_ = tr.Repair(0, 1)
+	out, _ = tr.Run()
+	fmt.Println("repaired:", out[0])
+	// Output:
+	// default: 31-12-2019
+	// repaired: 12-31-2019
+}
+
+// Rows matching no known format are never touched — they come back
+// unchanged and flagged for review (paper §6.1).
+func ExampleTransformation_Run() {
+	sess := clx.NewSession([]string{"734.236.3466", "N/A"})
+	tr, _ := sess.Label(clx.MustParsePattern("<D>3'-'<D>3'-'<D>4"))
+	out, flagged := tr.Run()
+	fmt.Println(out[0])
+	fmt.Println(out[1], flagged)
+	// Output:
+	// 734-236-3466
+	// N/A [1]
+}
+
+// Content conditionals — where the right output depends on a token's value
+// — are resolved with a handful of examples (§7.4 extension).
+func ExampleTransformation_RepairWithExamples() {
+	sess := clx.NewSession([]string{
+		"picture 001", "invoice 001", "picture 002", "invoice 002", "PIC-777",
+	})
+	tr, _ := sess.Label(clx.MustParsePattern("<U>+'-'<D>+"))
+	_ = tr.RepairWithExamples(map[string]string{
+		"picture 001": "PIC-001", "picture 002": "PIC-002",
+		"invoice 001": "DOC-001", "invoice 002": "DOC-002",
+	})
+	out, _ := tr.Apply("invoice 042")
+	fmt.Println(out)
+	// Output:
+	// DOC-042
+}

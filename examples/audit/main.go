@@ -1,0 +1,91 @@
+// Audit workflow: using pattern clustering as a data-quality lens on a
+// larger, noisy column (331 rows in the shape of the paper's §7.2 Times
+// Square Food & Beverage study). CLX transforms only what it can prove
+// matches a known format; everything else is flagged for review rather
+// than silently mangled — the flag-don't-touch behaviour of §6.1.
+//
+//	go run ./examples/audit
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	clx "clx"
+)
+
+// messyPhones synthesizes the study column: six real-world phone formats
+// in skewed proportions plus a few noise records.
+func messyPhones() []string {
+	r := rand.New(rand.NewSource(42))
+	digits := func() (a, b, c string) {
+		n := func(k int) string {
+			s := ""
+			for i := 0; i < k; i++ {
+				s += string(byte('0' + r.Intn(10)))
+			}
+			return s
+		}
+		return n(3), n(3), n(4)
+	}
+	var rows []string
+	add := func(count int, f func(a, b, c string) string) {
+		for i := 0; i < count; i++ {
+			a, b, c := digits()
+			rows = append(rows, f(a, b, c))
+		}
+	}
+	add(112, func(a, b, c string) string { return "(" + a + ") " + b + "-" + c })
+	add(89, func(a, b, c string) string { return a + "-" + b + "-" + c })
+	add(52, func(a, b, c string) string { return a + "." + b + "." + c })
+	add(38, func(a, b, c string) string { return "(" + a + ")" + b + "-" + c })
+	add(24, func(a, b, c string) string { return a + " " + b + " " + c })
+	add(12, func(a, b, c string) string { return "+1 " + a + "-" + b + "-" + c })
+	rows = append(rows, "N/A", "N/A", "call front desk", "unknown")
+	r.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+	return rows
+}
+
+func main() {
+	column := messyPhones()
+	sess := clx.NewSession(column)
+
+	fmt.Printf("audit of %d rows — format inventory:\n", len(column))
+	for _, c := range sess.Clusters() {
+		fmt.Printf("  %6.1f%%  %-30s e.g. %q\n",
+			100*float64(c.Count)/float64(len(column)), c.Pattern, c.Sample)
+	}
+
+	tr, err := sess.Label(clx.MustParsePattern("<D>3'-'<D>3'-'<D>4"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nnormalization program:")
+	fmt.Print(tr.Explain())
+
+	out, flagged := tr.Run()
+	clean := 0
+	for i := range out {
+		if tr.Target().Matches(out[i]) {
+			clean++
+		}
+	}
+	fmt.Printf("\nnormalized %d/%d rows (%.1f%%)\n",
+		clean, len(out), 100*float64(clean)/float64(len(out)))
+	fmt.Printf("%d rows flagged for manual review:\n", len(flagged))
+	seen := map[string]int{}
+	for _, i := range flagged {
+		seen[column[i]]++
+	}
+	for v, n := range seen {
+		fmt.Printf("  %q × %d\n", v, n)
+	}
+
+	// Verify at the pattern level: after the transformation the column
+	// should collapse to the target pattern plus the flagged leftovers.
+	post := clx.NewSession(out)
+	fmt.Println("\npost-transform format inventory:")
+	for _, c := range post.Clusters() {
+		fmt.Printf("  %6d rows  %s\n", c.Count, c.Pattern)
+	}
+}

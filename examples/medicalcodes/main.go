@@ -1,0 +1,54 @@
+// Medical billing codes: the paper's Example 5 (BlinkFill's "Example 3").
+// Messy CPT codes are normalized into the bracketed form "[CPT-XXXX]".
+// The target is labeled at hierarchy level 1 — a '+'-quantified pattern
+// covering codes of any length.
+//
+//	go run ./examples/medicalcodes
+package main
+
+import (
+	"fmt"
+
+	clx "clx"
+)
+
+func main() {
+	column := []string{
+		"CPT-00350",
+		"[CPT-00340",
+		"[CPT-11536]",
+		"CPT115",
+		"CPT-20110",
+		"[CPT-33417",
+		"CPT909",
+	}
+
+	sess := clx.NewSession(column)
+
+	// The hierarchy groups the leaf patterns into progressively more
+	// generic levels; level 1 turns exact counts into '+'.
+	fmt.Println("pattern hierarchy:")
+	for level := sess.Levels() - 1; level >= 0; level-- {
+		fmt.Printf("  level %d:\n", level)
+		for _, c := range sess.Level(level) {
+			fmt.Printf("    %-28s %d rows\n", c.Pattern, c.Count)
+		}
+	}
+
+	// Label with the desired "[CPT-XXXX]" shape.
+	tr, err := sess.Label(clx.MustParsePattern("'['<U>+'-'<D>+']'"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nsuggested transformation:")
+	fmt.Print(tr.Explain())
+
+	out, flagged := tr.Run()
+	fmt.Println("\nresult:")
+	for i, s := range out {
+		fmt.Printf("  %-12s -> %s\n", column[i], s)
+	}
+	if len(flagged) > 0 {
+		fmt.Println("flagged rows:", flagged)
+	}
+}

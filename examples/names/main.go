@@ -1,0 +1,78 @@
+// Employee names: the paper's Example 6 (FlashFill's "Example 9"), plus a
+// demonstration of program repair (§6.4). Heterogeneous name formats are
+// normalized to "Last, F."; where the default plan guesses the wrong
+// fields, the ranked alternatives contain the right one.
+//
+//	go run ./examples/names
+package main
+
+import (
+	"fmt"
+
+	clx "clx"
+)
+
+func main() {
+	column := []string{
+		"Dr. Eran Yahav",
+		"Dr. Kathleen Fisher",
+		"Dr. Rosa Cole",
+		"Fisher, K.",
+		"Miller, B.",
+		"Oege de Moor",
+		"Ana de Luca",
+	}
+
+	sess := clx.NewSession(column)
+	fmt.Println("discovered patterns:")
+	for _, c := range sess.Clusters() {
+		fmt.Printf("  %-36s %d rows   e.g. %s\n", c.Pattern, c.Count, c.Sample)
+	}
+
+	target := clx.MustParsePattern("<U><L>+','' '<U>'.'")
+	tr, err := sess.Label(target)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\ndefault transformation:")
+	fmt.Print(tr.Explain())
+
+	// Verify at the pattern level: does each source's default plan do the
+	// right thing? Inspect the alternatives and repair where needed.
+	want := map[string]string{
+		"Dr. Eran Yahav": "Yahav, E.",
+		"Oege de Moor":   "Moor, O.",
+	}
+	for i, src := range tr.Sources() {
+		alts := tr.Alternatives(i)
+		// Find a sample row of this source.
+		var sample string
+		for _, row := range column {
+			if src.Matches(row) {
+				sample = row
+				break
+			}
+		}
+		expected, known := want[sample]
+		if !known {
+			continue
+		}
+		for j, op := range alts {
+			if out, ok := op.Apply(sample); ok && out == expected {
+				if j > 0 {
+					fmt.Printf("\nrepair: source %d (%s) -> alternative %d\n", i, src, j)
+					if err := tr.Repair(i, j); err != nil {
+						panic(err)
+					}
+				}
+				break
+			}
+		}
+	}
+
+	out, _ := tr.Run()
+	fmt.Println("\nresult:")
+	for i, s := range out {
+		fmt.Printf("  %-22s -> %s\n", column[i], s)
+	}
+}

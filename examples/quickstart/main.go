@@ -1,0 +1,64 @@
+// Quickstart: normalize a messy phone-number column with CLX
+// (Cluster–Label–Transform, paper §2).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	clx "clx"
+)
+
+func main() {
+	column := []string{
+		"(734) 645-8397",
+		"(734)586-7252",
+		"734-422-8073",
+		"734.236.3466",
+		"(313) 263-1192",
+		"248 555 1234",
+		"N/A",
+	}
+
+	// 1. Cluster: profile the column into pattern clusters. This is what
+	// the user verifies — a handful of patterns instead of every record.
+	sess := clx.NewSession(column)
+	fmt.Println("discovered patterns:")
+	for _, c := range sess.Clusters() {
+		fmt.Printf("  %-28s %d rows   e.g. %s\n", c.Pattern, c.Count, c.Sample)
+	}
+
+	// 2. Label: pick the desired pattern. Here one of the discovered
+	// patterns already has the right shape.
+	target := clx.MustParsePattern("<D>3'-'<D>3'-'<D>4")
+	tr, err := sess.Label(target)
+	if err != nil {
+		panic(err)
+	}
+
+	// 3. Transform: the synthesized program is a set of regexp Replace
+	// operations anyone can read and verify.
+	fmt.Println("\nsuggested transformation:")
+	fmt.Print(tr.Explain())
+
+	out, flagged := tr.Run()
+	fmt.Println("\ntransformed column:")
+	for i, s := range out {
+		marker := ""
+		for _, f := range flagged {
+			if f == i {
+				marker = "   <- left unchanged, flagged for review"
+			}
+		}
+		fmt.Printf("  %s%s\n", s, marker)
+	}
+
+	// The program also applies to new data of the known formats...
+	newVal, ok := tr.Apply("(917) 555-0100")
+	fmt.Printf("\nnew record (917) 555-0100 -> %s (ok=%v)\n", newVal, ok)
+	// ...and refuses to guess on formats it has never seen, instead of
+	// failing unexpectedly like an opaque PBE program (paper Example 1).
+	odd, ok := tr.Apply("+1 724-285-5210")
+	fmt.Printf("novel record +1 724-285-5210 -> %s (ok=%v)\n", odd, ok)
+}

@@ -1,0 +1,85 @@
+// Unifying heterogeneous tables: the second CLX instantiation (paper §9).
+// Three organizations keep the same contact list with different column
+// orders, header spellings, and phone formats; CLX clusters the tables,
+// the user labels org-a's layout as the standard, and the others are
+// converted — including a synthesized string transformation for the phone
+// column.
+//
+//	go run ./examples/tables
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"clx/tables"
+)
+
+func main() {
+	all := []tables.Table{
+		{
+			Name:    "org-a",
+			Headers: []string{"Name", "Phone", "City"},
+			Rows: [][]string{
+				{"Eran Yahav", "734-645-8397", "Ann Arbor"},
+				{"Kate Fisher", "313-263-1192", "Detroit"},
+			},
+		},
+		{
+			Name:    "org-b",
+			Headers: []string{"phone", "name", "city"},
+			Rows: [][]string{
+				{"(734) 645-0001", "Rosa Cole", "Lansing"},
+				{"(517) 555-2222", "Omar Sy", "Flint"},
+			},
+		},
+		{
+			Name:    "org-c",
+			Headers: []string{"Name", "City", "Phone "},
+			Rows: [][]string{
+				{"Max Koch", "Novi", "734.555.1234"},
+				{"Ada Diaz", "Troy", "248.555.8888"},
+			},
+		},
+		{
+			Name:    "warehouse",
+			Headers: []string{"sku", "qty"},
+			Rows:    [][]string{{"A-1", "4"}},
+		},
+	}
+
+	// Cluster: which tables store the same information?
+	groups := tables.Cluster(all)
+	fmt.Println("table groups:")
+	for _, g := range groups {
+		names := make([]string, len(g))
+		for i, idx := range g {
+			names[i] = all[idx].Name
+		}
+		fmt.Printf("  %s\n", strings.Join(names, ", "))
+	}
+
+	// Label org-a as the standard and transform its group.
+	group := make([]tables.Table, 0, len(groups[0]))
+	for _, idx := range groups[0] {
+		group = append(group, all[idx])
+	}
+	unified, maps, err := tables.Unify(group, 0)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("\nunified tables (org-a layout):")
+	for i, t := range unified {
+		fmt.Printf("  %s:\n", t.Name)
+		for _, row := range t.Rows {
+			fmt.Printf("    %v\n", row)
+		}
+		for _, cm := range maps[i].Columns {
+			if cm.Transform != nil {
+				fmt.Printf("    column %q reformatted via synthesized CLX program\n",
+					t.Headers[cm.Dst])
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Fuzz targets for the engine's parsing and matching hot paths. Run the
+// seed corpus as part of `go test`; fuzz longer with e.g.
+//
+//	go test -fuzz FuzzTokenizeMatches -fuzztime 30s
+package clx_test
+
+import (
+	"testing"
+
+	"clx/internal/cluster"
+	"clx/internal/pattern"
+	"clx/internal/synth"
+)
+
+// FuzzTokenizeMatches checks the central profiling invariant on arbitrary
+// input: every string matches its own derived pattern, the pattern's
+// compact rendering parses back, and the NL rendering parses back — all
+// three agreeing on the match.
+func FuzzTokenizeMatches(f *testing.F) {
+	for _, seed := range []string{
+		"", "(734) 645-8397", "Bob123@gmail.com", "N/A", "Dr. Eran Yahav",
+		"[CPT-115]", "a_b-c d", "++--", "   ", "é漢字", "\x00\xff",
+		"12/34/5678", "https://x.y/z",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p := pattern.FromString(s)
+		if !p.Matches(s) {
+			t.Fatalf("pattern %s does not match its own source %q", p, s)
+		}
+		rt, err := pattern.Parse(p.String())
+		if err != nil {
+			t.Fatalf("compact rendering of %q does not parse: %v", s, err)
+		}
+		if !rt.Equal(p) {
+			t.Fatalf("compact round trip changed pattern: %s vs %s", rt, p)
+		}
+		nl, err := pattern.ParseNL(p.NLRegex())
+		if err != nil {
+			t.Fatalf("NL rendering %q of %q does not parse: %v", p.NLRegex(), s, err)
+		}
+		if !nl.Matches(s) {
+			t.Fatalf("NL round trip of %q does not match it (pattern %s)", s, nl)
+		}
+	})
+}
+
+// FuzzClusterPartition checks that profiling always partitions arbitrary
+// row multisets and that generalization preserves membership.
+func FuzzClusterPartition(f *testing.F) {
+	f.Add("a\nb\nc")
+	f.Add("(734) 645-8397\n734.236.3466\n\nN/A")
+	f.Add("x1\nx1\nx1\nx2")
+	f.Fuzz(func(t *testing.T, blob string) {
+		var data []string
+		start := 0
+		for i := 0; i <= len(blob); i++ {
+			if i == len(blob) || blob[i] == '\n' {
+				data = append(data, blob[start:i])
+				start = i + 1
+			}
+		}
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		h := cluster.Profile(data, cluster.DefaultOptions())
+		seen := make(map[int]bool)
+		for _, c := range h.Clusters {
+			for _, ri := range c.Rows {
+				if seen[ri] {
+					t.Fatalf("row %d in two clusters", ri)
+				}
+				seen[ri] = true
+				if !c.Pattern.Matches(data[ri]) {
+					t.Fatalf("cluster pattern %s does not match row %q", c.Pattern, data[ri])
+				}
+			}
+		}
+		if len(seen) != len(data) {
+			t.Fatalf("clusters cover %d rows, want %d", len(seen), len(data))
+		}
+		for _, root := range h.Roots() {
+			for _, leaf := range root.Leaves {
+				for _, ri := range leaf.Rows {
+					if !root.Pattern.Matches(data[ri]) {
+						t.Fatalf("root %s does not cover row %q", root.Pattern, data[ri])
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzSynthesisSoundness checks Theorem A.1 end to end on arbitrary pairs:
+// whatever program is synthesized, applying it to rows it claims to cover
+// yields strings matching the target.
+func FuzzSynthesisSoundness(f *testing.F) {
+	f.Add("(734) 645-8397\n734.236.3466", "<D>3'-'<D>3'-'<D>4")
+	f.Add("CPT115\n[CPT-00340", "'['<U>+'-'<D>+']'")
+	f.Add("a b\nc d", "<L>','<L>")
+	f.Fuzz(func(t *testing.T, blob, targetSpec string) {
+		target, err := pattern.Parse(targetSpec)
+		if err != nil || target.IsEmpty() {
+			t.Skip()
+		}
+		var data []string
+		start := 0
+		for i := 0; i <= len(blob) && len(data) < 32; i++ {
+			if i == len(blob) || blob[i] == '\n' {
+				data = append(data, blob[start:i])
+				start = i + 1
+			}
+		}
+		h := cluster.Profile(data, cluster.DefaultOptions())
+		res := synth.Synthesize(h, target, synth.DefaultOptions())
+		out, flagged := res.Transform()
+		flaggedSet := make(map[int]bool)
+		for _, i := range flagged {
+			flaggedSet[i] = true
+		}
+		for i := range data {
+			if flaggedSet[i] {
+				if out[i] != data[i] {
+					t.Fatalf("flagged row %q was modified to %q", data[i], out[i])
+				}
+				continue
+			}
+			if !target.Matches(out[i]) {
+				t.Fatalf("transformed row %q -> %q does not match target %s",
+					data[i], out[i], target)
+			}
+		}
+	})
+}
+
+// FuzzNLParse: the display-syntax parser never panics and, when it accepts
+// an input, produces a pattern whose own NL rendering parses to an
+// equivalent pattern (idempotent round trip).
+func FuzzNLParse(f *testing.F) {
+	for _, seed := range []string{
+		"/^{digit}{3}-{digit}{4}$/", "{upper}{lower}+, {upper}.",
+		"[{upper}+-{digit}+]", "{alnum}+@{alnum}+", `\{x\}`, "{digit}{lower}",
+		"", "///", "{digit}{999}",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := pattern.ParseNL(s)
+		if err != nil {
+			return
+		}
+		q, err := pattern.ParseNL(p.NLRegex())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", p.NLRegex(), s, err)
+		}
+		// Adjacent raw bytes can merge into one multi-byte literal on
+		// re-parse (semantically identical), so compare the flattened
+		// forms: merged literal bytes interleaved with base tokens.
+		if flatten(q) != flatten(p) {
+			t.Fatalf("NL round trip changed pattern: %s vs %s (input %q)", q, p, s)
+		}
+	})
+}
+
+// flatten canonicalizes a pattern for semantic comparison: adjacent fixed
+// literal tokens merge, base tokens stay as (class, quant) markers.
+func flatten(p pattern.Pattern) string {
+	out := ""
+	lit := ""
+	flush := func() {
+		if lit != "" {
+			out += "L" + lit + "\x00"
+			lit = ""
+		}
+	}
+	for _, tk := range p.Tokens() {
+		if tk.IsLiteral() && tk.Quant >= 1 {
+			lit += tk.Expand()
+			continue
+		}
+		flush()
+		out += tk.String() + "\x00"
+	}
+	flush()
+	return out
+}
+
+// FuzzCompactParse: Parse never panics and accepted inputs round-trip
+// through String.
+func FuzzCompactParse(f *testing.F) {
+	for _, seed := range []string{
+		"<D>3'-'<D>4", "'['<U>+'-'<D>+']'", "<AN>+", `'\''`, `'\\'`,
+		"<D>", "''", "<D>0", "<D>99999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := pattern.Parse(s)
+		if err != nil {
+			return
+		}
+		q, err := pattern.Parse(p.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", p.String(), s, err)
+		}
+		if !q.Equal(p) {
+			t.Fatalf("compact round trip changed pattern: %s vs %s", q, p)
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module clx
+
+go 1.22

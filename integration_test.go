@@ -1,0 +1,222 @@
+// Integration tests exercising the public API end to end over the full
+// benchmark suite and the study dataset — the workflows a downstream user
+// would run, kept honest against the internal simulation results.
+package clx_test
+
+import (
+	"testing"
+
+	clx "clx"
+	"clx/internal/benchsuite"
+	"clx/internal/dataset"
+	"clx/internal/simuser"
+)
+
+// Every benchmark task is solvable through the public API by replaying the
+// simulated user's choices: select the targets, repair each source to the
+// plan the simulation verified, and compare the final column.
+func TestPublicAPIReproducesSimulation(t *testing.T) {
+	for _, task := range benchsuite.Tasks() {
+		task := task
+		t.Run(task.Name, func(t *testing.T) {
+			sim := simuser.SimulateCLX(task.Inputs, task.Outputs, simuser.DefaultOptions())
+			sess := clx.NewSession(task.Inputs)
+
+			// Rebuild the simulated user's outcome with public calls: for
+			// each selected target, label it and walk the ranked
+			// alternatives exactly as the simulation's Steps say is
+			// possible.
+			got := append([]string(nil), task.Inputs...)
+			// Route each dirty row to the first selected target its
+			// desired output matches — the same routing the user performs
+			// when transforming one format group at a time.
+			routed := make([]int, len(task.Inputs))
+			for ri := range task.Inputs {
+				routed[ri] = -1
+				if task.Inputs[ri] == task.Outputs[ri] {
+					continue
+				}
+				for ti, target := range sim.Targets {
+					if target.Matches(task.Outputs[ri]) {
+						routed[ri] = ti
+						break
+					}
+				}
+			}
+			for targetIdx, target := range sim.Targets {
+				tr, err := sess.Label(target)
+				if err != nil {
+					t.Fatalf("Label(%s): %v", target, err)
+				}
+				// For each source, pick the alternative matching ground
+				// truth on its routed rows; when none fits, drill into the
+				// child patterns (Refine) and retry — the exact repair
+				// affordances the UI offers.
+				fuel := 64
+				for i := 0; i < len(tr.Sources()) && fuel > 0; fuel-- {
+					src := tr.Sources()[i]
+					best, any := -1, false
+					for j, op := range tr.Alternatives(i) {
+						ok, hit := true, false
+						for ri, in := range task.Inputs {
+							if routed[ri] != targetIdx || !src.Matches(in) {
+								continue
+							}
+							out, applied := op.Apply(in)
+							if !applied {
+								continue
+							}
+							hit = true
+							if out != task.Outputs[ri] {
+								ok = false
+								break
+							}
+						}
+						if hit {
+							any = true
+							if ok {
+								best = j
+								break
+							}
+						}
+					}
+					switch {
+					case best > 0:
+						if err := tr.Repair(i, best); err != nil {
+							t.Fatalf("Repair: %v", err)
+						}
+						i++
+					case best < 0 && any:
+						// No plan fits the routed rows: drill down.
+						if err := tr.Refine(i); err != nil {
+							i++ // leaf without a fit: rows stay broken
+						}
+					default:
+						i++
+					}
+				}
+				out, _ := tr.Run()
+				for ri := range got {
+					// Only this target's rows take this pass's result.
+					if routed[ri] != targetIdx {
+						continue
+					}
+					if got[ri] == task.Inputs[ri] && out[ri] != task.Inputs[ri] {
+						got[ri] = out[ri]
+					}
+				}
+			}
+
+			// The public API must do at least as well as the simulation on
+			// rows the simulation solved.
+			for ri := range task.Inputs {
+				if sim.Outputs[ri] != task.Outputs[ri] {
+					continue // known failure row (designed failure modes)
+				}
+				if task.Inputs[ri] == task.Outputs[ri] {
+					if got[ri] != task.Inputs[ri] {
+						t.Errorf("identity row %d mutated: %q -> %q",
+							ri, task.Inputs[ri], got[ri])
+					}
+					continue
+				}
+				if got[ri] != task.Outputs[ri] {
+					t.Errorf("row %d: public API got %q, want %q (sim solved it)",
+						ri, got[ri], task.Outputs[ri])
+				}
+			}
+		})
+	}
+}
+
+// The §7.2 study column round-trips through the public API: after the
+// transformation the column collapses to the target pattern plus flagged
+// noise.
+func TestStudyColumnEndToEnd(t *testing.T) {
+	rows, want := dataset.TimesSquarePhones()
+	sess := clx.NewSession(rows)
+	target := clx.MustParsePattern("<D>3'-'<D>3'-'<D>4")
+	tr, err := sess.Label(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, flagged := tr.Run()
+	// Plain ten-digit rows need a token split, which is outside UniFi's
+	// token-granularity language: they are flagged, not transformed.
+	unsolvable := func(s string) bool {
+		return s == "N/A" || clx.PatternOf(s).String() == "<D>10"
+	}
+	wrong := 0
+	for i := range out {
+		if out[i] != want[i] && !unsolvable(rows[i]) {
+			wrong++
+		}
+	}
+	if wrong != 0 {
+		t.Errorf("%d solvable rows wrong after transformation", wrong)
+	}
+	// Flagged rows are exactly the noise + plain records — flag, don't
+	// touch (§6.1).
+	for _, i := range flagged {
+		if !unsolvable(rows[i]) {
+			t.Errorf("row %d (%q) flagged; only noise/plain should be", i, rows[i])
+		}
+		if out[i] != rows[i] {
+			t.Errorf("flagged row %d mutated", i)
+		}
+	}
+	// Post-transform the column collapses to target + N/A + plain digits.
+	post := clx.NewSession(out)
+	if n := len(post.Clusters()); n != 3 {
+		t.Errorf("post-transform clusters = %d, want 3 (target, N/A, <D>10)", n)
+	}
+	// The explanation names every transformable messy format once.
+	if ops := tr.Replaces(); len(ops) != 5 {
+		t.Errorf("replace ops = %d, want 5 (one per transformable format)", len(ops))
+	}
+}
+
+// The Explain output round-trips through ParseNLPattern: every source
+// regexp shown to the user parses back into a pattern matching the same
+// rows.
+func TestExplainRoundTrips(t *testing.T) {
+	rows, _ := dataset.Phones(40, 5, 3)
+	sess := clx.NewSession(rows)
+	tr, err := sess.Label(clx.MustParsePattern("<D>3'-'<D>3'-'<D>4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range tr.Replaces() {
+		nl := op.Source.NLRegex()
+		p, err := clx.ParseNLPattern(nl)
+		if err != nil {
+			t.Errorf("regexp %q does not parse back: %v", nl, err)
+			continue
+		}
+		matched := 0
+		for _, r := range rows {
+			if p.Matches(r) {
+				matched++
+			}
+		}
+		if matched == 0 {
+			t.Errorf("round-tripped pattern %s matches no input row", p)
+		}
+	}
+}
+
+// mustTask fetches a benchmark task for cross-file test helpers.
+func mustTask(t *testing.T, name string) benchsuite.Task {
+	t.Helper()
+	task, ok := benchsuite.ByName(name)
+	if !ok {
+		t.Fatalf("task %s missing", name)
+	}
+	return task
+}
+
+// clxTargets derives the target patterns a user would label for a task's
+// desired outputs.
+func clxTargets(want []string) []clx.Pattern {
+	return simuser.SelectTargets(nil, want)
+}

@@ -1,0 +1,148 @@
+// Package align implements the token alignment algorithm of paper §6.2
+// (Algorithm 3): it discovers, for a candidate source pattern and a target
+// pattern, every ConstStr and Extract operation that can produce each token
+// of the target, and stores them as edges of a directed acyclic graph whose
+// nodes are positions in the target pattern. Sequential extracts are
+// combined as in Figure 10, making the construction complete (Appendix A).
+package align
+
+import (
+	"sort"
+
+	"clx/internal/pattern"
+	"clx/internal/token"
+	"clx/internal/unifi"
+)
+
+// Edge identifies a DAG edge from node From to node To (positions in the
+// target pattern, 0..len(target)).
+type Edge struct {
+	From, To int
+}
+
+// DAG is the token alignment result: Ops[e] lists the UniFi operators that
+// generate target tokens From+1..To (1-based) of the target pattern.
+type DAG struct {
+	// N is the number of target tokens; nodes are 0..N with source node 0
+	// and target node N.
+	N int
+	// Ops maps each edge to its candidate operators, deduplicated, in
+	// deterministic order.
+	Ops map[Edge][]unifi.Op
+}
+
+// Align runs Algorithm 3 on the target pattern T and candidate source
+// pattern Pcand.
+func Align(target, source pattern.Pattern) *DAG {
+	return align(target, source, true)
+}
+
+// AlignSingle runs only the individual-token phase of Algorithm 3 (lines
+// 2–9), without combining sequential extracts. It exists for the ablation
+// benchmark measuring the value of the combining step (Figure 10).
+func AlignSingle(target, source pattern.Pattern) *DAG {
+	return align(target, source, false)
+}
+
+func align(target, source pattern.Pattern, combine bool) *DAG {
+	m := target.Len()
+	d := &DAG{N: m, Ops: make(map[Edge][]unifi.Op)}
+	seen := make(map[Edge]map[unifi.Op]bool)
+	add := func(e Edge, op unifi.Op) {
+		if seen[e] == nil {
+			seen[e] = make(map[unifi.Op]bool)
+		}
+		if seen[e][op] {
+			return
+		}
+		seen[e][op] = true
+		d.Ops[e] = append(d.Ops[e], op)
+	}
+
+	// Lines 2–9: align individual tokens.
+	for i := 0; i < m; i++ {
+		ti := target.At(i)
+		e := Edge{i, i + 1}
+		for j := 0; j < source.Len(); j++ {
+			if token.CanProduce(source.At(j), ti) {
+				add(e, unifi.Extract{I: j + 1, J: j + 1})
+			}
+		}
+		if ti.IsLiteral() && ti.Quant != token.Plus {
+			add(e, unifi.ConstStr{S: ti.Expand()})
+		}
+	}
+
+	if !combine {
+		return d
+	}
+	// Lines 10–17: combine sequential extracts. Processing the join node i
+	// in ascending order lets previously combined incoming edges grow
+	// further, which yields every Extract(p,q) (Appendix A completeness).
+	for i := 1; i < m; i++ {
+		var incoming []Edge
+		for e := range d.Ops {
+			if e.To == i {
+				incoming = append(incoming, e)
+			}
+		}
+		sort.Slice(incoming, func(a, b int) bool { return incoming[a].From < incoming[b].From })
+		out := Edge{i, i + 1}
+		outOps := d.Ops[out]
+		for _, in := range incoming {
+			for _, po := range d.Ops[in] {
+				ep, ok := po.(unifi.Extract)
+				if !ok {
+					continue
+				}
+				for _, qo := range outOps {
+					eq, ok := qo.(unifi.Extract)
+					if !ok {
+						continue
+					}
+					if ep.J+1 == eq.I {
+						add(Edge{in.From, i + 1}, unifi.Extract{I: ep.I, J: eq.J})
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Complete reports whether every node 1..N is reachable, i.e. at least one
+// full transformation plan exists.
+func (d *DAG) Complete() bool {
+	if d.N == 0 {
+		return true
+	}
+	reach := make([]bool, d.N+1)
+	reach[0] = true
+	for i := 0; i <= d.N; i++ {
+		if !reach[i] {
+			continue
+		}
+		for e := range d.Ops {
+			if e.From == i {
+				reach[e.To] = true
+			}
+		}
+	}
+	return reach[d.N]
+}
+
+// Edges returns the DAG's edges sorted by (From, To), for deterministic
+// iteration.
+func (d *DAG) Edges() []Edge {
+	es := make([]Edge, 0, len(d.Ops))
+	for e := range d.Ops {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].From != es[b].From {
+			return es[a].From < es[b].From
+		}
+		return es[a].To < es[b].To
+	})
+	return es
+}

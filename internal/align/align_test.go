@@ -1,0 +1,166 @@
+package align
+
+import (
+	"reflect"
+	"testing"
+
+	"clx/internal/pattern"
+	"clx/internal/unifi"
+)
+
+// Paper Example 8 / Figure 9: source [<D>3,'.',<D>3,'.',<D>4], target
+// ['(',<D>3,')',' ',<D>3,'-',<D>4].
+func TestAlignFigure9(t *testing.T) {
+	src := pattern.MustParse("<D>3'.'<D>3'.'<D>4")
+	tgt := pattern.MustParse("'('<D>3')'' '<D>3'-'<D>4")
+	d := Align(tgt, src)
+	if d.N != 7 {
+		t.Fatalf("N = %d, want 7", d.N)
+	}
+	wantEdges := map[Edge][]unifi.Op{
+		{0, 1}: {unifi.ConstStr{S: "("}},
+		{1, 2}: {unifi.Extract{I: 1, J: 1}, unifi.Extract{I: 3, J: 3}},
+		{2, 3}: {unifi.ConstStr{S: ")"}},
+		{3, 4}: {unifi.ConstStr{S: " "}},
+		{4, 5}: {unifi.Extract{I: 1, J: 1}, unifi.Extract{I: 3, J: 3}},
+		{5, 6}: {unifi.ConstStr{S: "-"}},
+		{6, 7}: {unifi.Extract{I: 5, J: 5}},
+	}
+	if len(d.Ops) != len(wantEdges) {
+		t.Errorf("edges = %v, want %d edges", d.Edges(), len(wantEdges))
+	}
+	for e, want := range wantEdges {
+		if got := d.Ops[e]; !reflect.DeepEqual(got, want) {
+			t.Errorf("Ops[%v] = %v, want %v", e, got, want)
+		}
+	}
+	if !d.Complete() {
+		t.Error("DAG should be complete")
+	}
+}
+
+// Figure 10: combining Extract(1) and Extract(2) into Extract(1,2).
+func TestCombineSequentialExtracts(t *testing.T) {
+	src := pattern.MustParse("<U><D>+")
+	tgt := pattern.MustParse("<U><D>+")
+	d := Align(tgt, src)
+	got := d.Ops[Edge{0, 2}]
+	want := []unifi.Op{unifi.Extract{I: 1, J: 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("combined edge ops = %v, want %v", got, want)
+	}
+}
+
+// Paper Example 9 setup: combining must discover Extract(1,3) spanning the
+// literal '/' in the source.
+func TestCombineAcrossLiterals(t *testing.T) {
+	src := pattern.MustParse("<D>2'/'<D>2'/'<D>4")
+	tgt := pattern.MustParse("<D>2'/'<D>2")
+	d := Align(tgt, src)
+	found := false
+	for _, op := range d.Ops[Edge{0, 3}] {
+		if op == (unifi.Extract{I: 1, J: 3}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Extract(1,3) not discovered; edge (0,3) ops = %v", d.Ops[Edge{0, 3}])
+	}
+	// Extract(3,5) ending at the final <D>4... is NOT valid for this target
+	// (target token 3 is <D>2, source token 5 is <D>4 — not similar), so
+	// the only other (0,3) paths go through shorter combinations.
+	for _, op := range d.Ops[Edge{0, 3}] {
+		if e, ok := op.(unifi.Extract); ok && e.J > 4 {
+			t.Errorf("invalid combined extract %v", e)
+		}
+	}
+}
+
+// Longer chains: combining is complete for arbitrary-length sequential
+// extracts (Appendix A), here Extract(1,5).
+func TestCombineLongChain(t *testing.T) {
+	src := pattern.MustParse("<U>+'-'<D>+'-'<L>+")
+	tgt := pattern.MustParse("<U>+'-'<D>+'-'<L>+")
+	d := Align(tgt, src)
+	found := false
+	for _, op := range d.Ops[Edge{0, 5}] {
+		if op == (unifi.Extract{I: 1, J: 5}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Extract(1,5) not discovered; ops = %v", d.Ops[Edge{0, 5}])
+	}
+}
+
+func TestPlusQuantifierProduction(t *testing.T) {
+	// <U>3 in source aligns to a <U>+ target: any exact count matches '+'.
+	d := Align(pattern.MustParse("<U>+"), pattern.MustParse("<U>3"))
+	if got := d.Ops[Edge{0, 1}]; len(got) != 1 {
+		t.Errorf("ops = %v, want one Extract", got)
+	}
+	// The reverse is rejected for soundness: a '+' source span of unknown
+	// length cannot be guaranteed to satisfy an exact <U>3 target (see
+	// token.CanProduce; Def 6.1's symmetric rule is unsound here).
+	d = Align(pattern.MustParse("<U>3"), pattern.MustParse("<U>+"))
+	if d.Complete() {
+		t.Error("'+' source must not produce an exact-count target")
+	}
+	// <U>3 vs <U>4: not similar; target is literal-free so DAG incomplete.
+	d = Align(pattern.MustParse("<U>3"), pattern.MustParse("<U>4"))
+	if d.Complete() {
+		t.Error("mismatched quantifiers should leave DAG incomplete")
+	}
+}
+
+func TestIncompleteWhenNoSource(t *testing.T) {
+	// Target needs digits; source has none and target token is not literal.
+	d := Align(pattern.MustParse("<D>3"), pattern.MustParse("<U>3"))
+	if d.Complete() {
+		t.Error("DAG should be incomplete")
+	}
+	if len(d.Ops) != 0 {
+		t.Errorf("ops = %v, want none", d.Ops)
+	}
+}
+
+func TestEmptyTarget(t *testing.T) {
+	d := Align(pattern.Pattern{}, pattern.MustParse("<D>3"))
+	if !d.Complete() || d.N != 0 {
+		t.Error("empty target should be trivially complete")
+	}
+}
+
+// Soundness (Theorem A.1): every operator on edge (i-1, i+k) generates
+// exactly target tokens i..i+k when evaluated — verified by applying
+// single-edge plans to a concrete matching string.
+func TestAlignmentSoundness(t *testing.T) {
+	src := pattern.MustParse("<D>2'/'<D>2'/'<D>4")
+	tgt := pattern.MustParse("<D>4'-'<D>2'-'<D>2")
+	input := "31/12/2019"
+	spansWant := map[Edge][]string{} // filled per op below
+	_ = spansWant
+	d := Align(tgt, src)
+	srcSpans, ok := src.Match(input)
+	if !ok {
+		t.Fatal("input does not match source")
+	}
+	for e, ops := range d.Ops {
+		for _, op := range ops {
+			var produced string
+			switch op := op.(type) {
+			case unifi.ConstStr:
+				produced = op.S
+			case unifi.Extract:
+				produced = input[srcSpans[op.I-1].Start:srcSpans[op.J-1].End]
+			}
+			// The produced fragment must match the sub-pattern of target
+			// tokens e.From..e.To-1.
+			sub := pattern.Of(tgt.Tokens()[e.From:e.To]...)
+			if !sub.Matches(produced) {
+				t.Errorf("edge %v op %v produced %q which does not match %s",
+					e, op, produced, sub)
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package align
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"clx/internal/pattern"
+	"clx/internal/token"
+	"clx/internal/unifi"
+)
+
+// randPattern generates a small random pattern over base tokens and
+// punctuation literals.
+func randPattern(r *rand.Rand, maxTokens int) pattern.Pattern {
+	classes := []token.Class{token.Digit, token.Lower, token.Upper}
+	puncts := []string{"-", ".", " ", "/", ":"}
+	n := 1 + r.Intn(maxTokens)
+	var toks []token.Token
+	for i := 0; i < n; i++ {
+		if r.Intn(3) == 0 {
+			toks = append(toks, token.Lit(puncts[r.Intn(len(puncts))]))
+			continue
+		}
+		q := 1 + r.Intn(4)
+		if r.Intn(4) == 0 {
+			q = token.Plus
+		}
+		t := token.Base(classes[r.Intn(len(classes))], q)
+		// Avoid adjacent same-class base tokens (the tokenizer never
+		// produces them and matching could split runs arbitrarily).
+		if len(toks) > 0 && !toks[len(toks)-1].IsLiteral() &&
+			toks[len(toks)-1].Class == t.Class {
+			toks = append(toks, token.Lit("-"))
+		}
+		toks = append(toks, t)
+	}
+	return pattern.Of(toks...)
+}
+
+// instantiate produces a concrete string matching p.
+func instantiate(r *rand.Rand, p pattern.Pattern) string {
+	out := ""
+	for _, t := range p.Tokens() {
+		n := t.Quant
+		if n == token.Plus {
+			n = 1 + r.Intn(3)
+		}
+		if t.IsLiteral() {
+			for i := 0; i < n; i++ {
+				out += t.Lit
+			}
+			continue
+		}
+		const digits = "0123456789"
+		const lower = "abcdefghij"
+		const upper = "KLMNOPQRST"
+		for i := 0; i < n; i++ {
+			switch t.Class {
+			case token.Digit:
+				out += string(digits[r.Intn(10)])
+			case token.Lower:
+				out += string(lower[r.Intn(10)])
+			default:
+				out += string(upper[r.Intn(10)])
+			}
+		}
+	}
+	return out
+}
+
+// Completeness (Theorem A.2, under the sound CanProduce rule): when every
+// target token has at least one producer, the DAG admits a full plan — and
+// identity alignment (target == source) always does.
+func TestIdentityAlignmentComplete(t *testing.T) {
+	gen := func(v []reflect.Value, r *rand.Rand) {
+		v[0] = reflect.ValueOf(randPattern(r, 6))
+	}
+	f := func(p pattern.Pattern) bool {
+		d := Align(p, p)
+		if !d.Complete() {
+			return false
+		}
+		// The identity plan Extract(1..n) exists on the full edge.
+		for _, op := range d.Ops[Edge{0, p.Len()}] {
+			if op == (unifi.Extract{I: 1, J: p.Len()}) {
+				return true
+			}
+		}
+		return p.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Values: gen}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Soundness over random pairs: every operator on every edge produces a
+// fragment matching the corresponding target sub-pattern, for a concrete
+// matching subject.
+func TestRandomAlignmentSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 150; trial++ {
+		src := randPattern(r, 6)
+		tgt := randPattern(r, 4)
+		subject := instantiate(r, src)
+		spans, ok := src.Match(subject)
+		if !ok {
+			t.Fatalf("instantiate(%s) = %q does not match", src, subject)
+		}
+		d := Align(tgt, src)
+		for e, ops := range d.Ops {
+			sub := pattern.Of(tgt.Tokens()[e.From:e.To]...)
+			for _, op := range ops {
+				var produced string
+				switch op := op.(type) {
+				case unifi.ConstStr:
+					produced = op.S
+				case unifi.Extract:
+					produced = subject[spans[op.I-1].Start:spans[op.J-1].End]
+				}
+				if !sub.Matches(produced) {
+					t.Fatalf("src %s tgt %s subject %q: edge %v op %v produced %q not matching %s",
+						src, tgt, subject, e, op, produced, sub)
+				}
+			}
+		}
+	}
+}
+
+// The DAG never contains an edge escaping the node range or an extract
+// referencing tokens outside the source.
+func TestDAGWellFormed(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 150; trial++ {
+		src := randPattern(r, 6)
+		tgt := randPattern(r, 5)
+		d := Align(tgt, src)
+		for e, ops := range d.Ops {
+			if e.From < 0 || e.To > d.N || e.From >= e.To {
+				t.Fatalf("bad edge %v (N=%d)", e, d.N)
+			}
+			for _, op := range ops {
+				if ex, ok := op.(unifi.Extract); ok {
+					if ex.I < 1 || ex.J > src.Len() || ex.I > ex.J {
+						t.Fatalf("bad extract %v for source of %d tokens", ex, src.Len())
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package benchsuite
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSuiteShape(t *testing.T) {
+	tasks := Tasks()
+	if len(tasks) != 47 {
+		t.Fatalf("tasks = %d, want 47", len(tasks))
+	}
+	bySource := map[string]int{}
+	for _, task := range tasks {
+		bySource[task.Source]++
+	}
+	want := map[string]int{
+		"SyGus": 27, "FlashFill": 10, "BlinkFill": 4, "PredProg": 3, "Prose": 3,
+	}
+	for src, n := range want {
+		if bySource[src] != n {
+			t.Errorf("%s tasks = %d, want %d", src, bySource[src], n)
+		}
+	}
+}
+
+func TestTasksValid(t *testing.T) {
+	seen := map[string]bool{}
+	for _, task := range Tasks() {
+		if err := task.Validate(); err != nil {
+			t.Errorf("%v", err)
+		}
+		if seen[task.Name] {
+			t.Errorf("duplicate task name %s", task.Name)
+		}
+		seen[task.Name] = true
+		if task.DataType == "" {
+			t.Errorf("task %s has no data type", task.Name)
+		}
+	}
+}
+
+func TestFailureModesPresent(t *testing.T) {
+	cond, unrep := 0, 0
+	for _, task := range Tasks() {
+		if task.NeedsConditional {
+			cond++
+		}
+		if task.UnrepresentativeTarget {
+			unrep++
+		}
+	}
+	if cond != 1 {
+		t.Errorf("conditional tasks = %d, want 1 (the Example-13 analogue)", cond)
+	}
+	if unrep != 4 {
+		t.Errorf("unrepresentative-target tasks = %d, want 4 (§7.4)", unrep)
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	rows := Table6()
+	if len(rows) != 6 {
+		t.Fatalf("Table6 rows = %d, want 6 (5 sources + overall)", len(rows))
+	}
+	if rows[0].Source != "SyGus" || rows[0].Tests != 27 {
+		t.Errorf("row 0 = %+v, want SyGus with 27 tests", rows[0])
+	}
+	overall := rows[len(rows)-1]
+	if overall.Source != "Overall" || overall.Tests != 47 {
+		t.Errorf("overall = %+v", overall)
+	}
+	// Shape of Table 6: SyGus tasks are the largest on average, the
+	// overall mean row count is dozens not thousands.
+	if rows[0].AvgSize < 40 || rows[0].AvgSize > 110 {
+		t.Errorf("SyGus avg size = %.1f, want ~63", rows[0].AvgSize)
+	}
+	if overall.AvgSize < 25 || overall.AvgSize > 90 {
+		t.Errorf("overall avg size = %.1f, want ~44", overall.AvgSize)
+	}
+	if overall.AvgLen < 8 || overall.AvgLen > 25 {
+		t.Errorf("overall avg len = %.1f, want ~13", overall.AvgLen)
+	}
+}
+
+func TestExplainabilityTasks(t *testing.T) {
+	tasks := ExplainabilityTasks()
+	if tasks[0].Name != "ff-ex11-names" || tasks[1].Name != "pp-ex3-address" ||
+		tasks[2].Name != "sygus-phone-10-long" {
+		t.Fatalf("tasks = %v", []string{tasks[0].Name, tasks[1].Name, tasks[2].Name})
+	}
+	// Table 5 shape: task 1 and 2 have 10 rows, task 3 has 100.
+	if tasks[0].Size() != 10 || tasks[1].Size() != 10 || tasks[2].Size() != 100 {
+		t.Errorf("sizes = %d, %d, %d; want 10, 10, 100",
+			tasks[0].Size(), tasks[1].Size(), tasks[2].Size())
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("bf-ex3-medical"); !ok {
+		t.Error("bf-ex3-medical missing")
+	}
+	if _, ok := ByName("no-such-task"); ok {
+		t.Error("ByName returned a phantom task")
+	}
+}
+
+func TestGroundTruthSanity(t *testing.T) {
+	task, _ := ByName("bf-ex3-medical")
+	for i, in := range task.Inputs {
+		out := task.Outputs[i]
+		if !strings.HasPrefix(out, "[CPT-") || !strings.HasSuffix(out, "]") {
+			t.Errorf("medical output %q malformed", out)
+		}
+		_ = in
+	}
+	task, _ = ByName("ff-ex10-dates")
+	for i, in := range task.Inputs {
+		if in == task.Outputs[i] {
+			continue
+		}
+		// DD/MM/YYYY -> MM-DD-YYYY keeps the year.
+		if in[6:10] != task.Outputs[i][6:10] {
+			t.Errorf("date %q -> %q year mismatch", in, task.Outputs[i])
+		}
+	}
+}
+
+func TestDeterministicAcrossCalls(t *testing.T) {
+	a := Tasks()
+	b := Tasks()
+	if &a[0] != &b[0] {
+		t.Error("Tasks should be cached")
+	}
+}

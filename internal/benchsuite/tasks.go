@@ -1,0 +1,689 @@
+// The 47 benchmark task definitions (Table 6, Appendix D). Tasks are
+// re-authored from the canonical examples of the source suites; rows are
+// deterministic. Every task contains at least one row already in the target
+// format, mirroring the paper's benchmark construction.
+package benchsuite
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"clx/internal/dataset"
+)
+
+var (
+	tasksOnce sync.Once
+	allTasks  []Task
+)
+
+// Tasks returns the 47 benchmark tasks, built once.
+func Tasks() []Task {
+	tasksOnce.Do(func() { allTasks = buildTasks() })
+	return allTasks
+}
+
+// pairTask assembles a task from aligned input/output rows.
+func pairTask(name, source, dtype string, in, out []string) Task {
+	if len(in) != len(out) {
+		panic("benchsuite: misaligned rows in " + name)
+	}
+	return Task{Name: name, Source: source, DataType: dtype, Inputs: in, Outputs: out}
+}
+
+// mapped builds rows by applying f to each generated input.
+func mapped(inputs []string, f func(string) string) (in, out []string) {
+	out = make([]string, len(inputs))
+	for i, s := range inputs {
+		out[i] = f(s)
+	}
+	return inputs, out
+}
+
+// withIdentity appends rows already in the target format.
+func withIdentity(in, out []string, idRows ...string) ([]string, []string) {
+	for _, r := range idRows {
+		in = append(in, r)
+		out = append(out, r)
+	}
+	return in, out
+}
+
+// firstField returns the text before the first occurrence of sep.
+func firstField(s, sep string) string {
+	if i := strings.Index(s, sep); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// lastField returns the text after the last occurrence of sep.
+func lastField(s, sep string) string {
+	if i := strings.LastIndex(s, sep); i >= 0 {
+		return s[i+len(sep):]
+	}
+	return s
+}
+
+func buildTasks() []Task {
+	var ts []Task
+	add := func(t Task) {
+		if err := t.Validate(); err != nil {
+			panic(err)
+		}
+		ts = append(ts, t)
+	}
+
+	for _, t := range sygusTasks() {
+		add(t)
+	}
+	for _, t := range flashfillTasks() {
+		add(t)
+	}
+	for _, t := range blinkfillTasks() {
+		add(t)
+	}
+	for _, t := range predprogTasks() {
+		add(t)
+	}
+	for _, t := range proseTasks() {
+		add(t)
+	}
+	if len(ts) != 47 {
+		panic(fmt.Sprintf("benchsuite: %d tasks, want 47", len(ts)))
+	}
+	return ts
+}
+
+func sygusTasks() []Task {
+	var ts []Task
+
+	// Phone scenarios.
+	phones := func(n, k int, seed int64) ([]string, []string) {
+		return dataset.Phones(n, k, seed)
+	}
+
+	{ // sygus-phone-1: extract the area code from heterogeneous formats.
+		rows, want := phones(60, 3, 101)
+		in, out := mapped(rows, func(s string) string { return s[:3] })
+		for i := range out {
+			out[i] = want[i][:3]
+		}
+		in, out = withIdentity(in, out, "415", "917", "734")
+		ts = append(ts, pairTask("sygus-phone-1", "SyGus", "phone number", in, out))
+	}
+	{ // sygus-phone-2: extract the exchange (middle block) from two formats.
+		rows, want := phones(60, 2, 102)
+		in, out := mapped(rows, func(s string) string { return s })
+		for i := range out {
+			out[i] = want[i][4:7]
+		}
+		in, out = withIdentity(in, out, "645", "263", "422")
+		ts = append(ts, pairTask("sygus-phone-2", "SyGus", "phone number", in, out))
+	}
+	{ // sygus-phone-3: normalize 4 formats to dashes.
+		in, out := phones(63, 4, 103)
+		ts = append(ts, pairTask("sygus-phone-3", "SyGus", "phone number", in, out))
+	}
+	{ // sygus-phone-4: mixed separator formats to dots. (The SyGus suite
+		// also has strip-to-plain-digits tasks, but those require splitting
+		// a token run, which UniFi's token-granularity model excludes by
+		// construction — Appendix D's loop exclusion analogue.)
+		rows, want := phones(63, 5, 104)
+		out := make([]string, len(rows))
+		for i := range rows {
+			out[i] = strings.ReplaceAll(want[i], "-", ".")
+		}
+		ts = append(ts, pairTask("sygus-phone-4", "SyGus", "phone number", rows, out))
+	}
+	{ // sygus-phone-5: space-separated to dashes.
+		rows, want := phones(60, 1, 105)
+		in := make([]string, len(rows))
+		for i := range rows {
+			in[i] = strings.ReplaceAll(rows[i], "-", " ")
+		}
+		in, want = withIdentity(in, want, "555-010-2030")
+		ts = append(ts, pairTask("sygus-phone-5", "SyGus", "phone number", in, want))
+	}
+	{ // sygus-phone-6: dots to dashes.
+		rows, want := phones(60, 1, 106)
+		in := make([]string, len(rows))
+		for i := range rows {
+			in[i] = strings.ReplaceAll(rows[i], "-", ".")
+		}
+		in, want = withIdentity(in, want, "555-010-2030", "777-888-9999")
+		ts = append(ts, pairTask("sygus-phone-6", "SyGus", "phone number", in, want))
+	}
+	{ // sygus-phone-7: drop the "+1 " country prefix.
+		rows, _ := phones(60, 1, 107)
+		in := make([]string, len(rows))
+		for i := range rows {
+			in[i] = "+1 " + rows[i]
+		}
+		in, out := withIdentity(in, rows, "555-010-2030", "777-888-9999", "123-456-7890")
+		ts = append(ts, pairTask("sygus-phone-7", "SyGus", "phone number", in, out))
+	}
+	{ // sygus-phone-10-long: "+NNN NNN-NNN-NNN" -> "+NNN (NNN) NNN-NNN";
+		// 100 rows (Table 5, task 3).
+		rows, _ := phones(96, 1, 110)
+		in := make([]string, len(rows))
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			cc := fmt.Sprintf("%d", 100+i%80)
+			in[i] = "+" + cc + " " + r[:3] + "-" + r[4:7] + "-" + r[8:11]
+			out[i] = "+" + cc + " (" + r[:3] + ") " + r[4:7] + "-" + r[8:11]
+		}
+		in, out = withIdentity(in, out, "+106 (769) 858-438", "+129 (466) 131-309", "+144 (322) 290-414")
+		ts = append(ts, pairTask("sygus-phone-10-long", "SyGus", "phone number", in, out))
+	}
+
+	// Name scenarios.
+	nameRows := func(n int, seed int64) (first, last []string) {
+		return dataset.NameParts(n, seed)
+	}
+	{ // sygus-name-combine-1: "First Last" (or "Dr. First Last") -> "F. Last".
+		f, l := nameRows(60, 111)
+		in := make([]string, len(f))
+		out := make([]string, len(f))
+		for i := range f {
+			in[i] = f[i] + " " + l[i]
+			if i%4 == 3 {
+				in[i] = "Dr. " + in[i]
+			}
+			out[i] = f[i][:1] + ". " + l[i]
+		}
+		in, out = withIdentity(in, out, "E. Yahav", "K. Fisher", "B. Gates")
+		ts = append(ts, pairTask("sygus-name-combine-1", "SyGus", "human name", in, out))
+	}
+	{ // sygus-name-combine-2: "First Last" -> "Last, First".
+		f, l := nameRows(60, 112)
+		in := make([]string, len(f))
+		out := make([]string, len(f))
+		for i := range f {
+			in[i] = f[i] + " " + l[i]
+			out[i] = l[i] + ", " + f[i]
+		}
+		in, out = withIdentity(in, out, "Yahav, Eran", "Fisher, Kate", "Gates, Bill")
+		ts = append(ts, pairTask("sygus-name-combine-2", "SyGus", "human name", in, out))
+	}
+	{ // sygus-name-combine-3: "First Last" -> "F.L.".
+		f, l := nameRows(60, 113)
+		in := make([]string, len(f))
+		out := make([]string, len(f))
+		for i := range f {
+			in[i] = f[i] + " " + l[i]
+			out[i] = f[i][:1] + "." + l[i][:1] + "."
+		}
+		in, out = withIdentity(in, out, "E.Y.", "K.F.", "B.G.")
+		ts = append(ts, pairTask("sygus-name-combine-3", "SyGus", "human name", in, out))
+	}
+	{ // sygus-name-combine-4: "First Last" -> "Last, F.".
+		f, l := nameRows(60, 114)
+		in := make([]string, len(f))
+		out := make([]string, len(f))
+		for i := range f {
+			in[i] = f[i] + " " + l[i]
+			out[i] = l[i] + ", " + f[i][:1] + "."
+		}
+		in, out = withIdentity(in, out, "Yahav, E.", "Fisher, K.", "Gates, B.")
+		ts = append(ts, pairTask("sygus-name-combine-4", "SyGus", "human name", in, out))
+	}
+	{ // sygus-initials-middle: "First Middle Last" -> "F.M.L.".
+		f, l := nameRows(60, 115)
+		_, m := nameRows(60, 1150)
+		in := make([]string, len(f))
+		out := make([]string, len(f))
+		for i := range f {
+			in[i] = f[i] + " " + m[i] + " " + l[i]
+			out[i] = f[i][:1] + "." + m[i][:1] + "." + l[i][:1] + "."
+		}
+		in, out = withIdentity(in, out, "E.A.Y.", "K.B.F.", "B.C.G.")
+		ts = append(ts, pairTask("sygus-initials-middle", "SyGus", "human name", in, out))
+	}
+	{ // sygus-lastname: with and without a middle initial.
+		names := dataset.Names(60, 116)
+		for i := range names {
+			if i%3 == 2 {
+				parts := strings.SplitN(names[i], " ", 2)
+				names[i] = parts[0] + " " + string('A'+byte(i%26)) + " " + parts[1]
+			}
+		}
+		in, out := mapped(names, func(s string) string { return lastField(s, " ") })
+		in, out = withIdentity(in, out, "Yahav", "Fisher", "Gates")
+		ts = append(ts, pairTask("sygus-lastname", "SyGus", "human name", in, out))
+	}
+	{ // sygus-firstname: with and without an honorific.
+		names := dataset.Names(60, 117)
+		for i := range names {
+			if i%3 == 2 {
+				names[i] = "Dr. " + names[i]
+			}
+		}
+		in, out := mapped(names, func(s string) string {
+			s = strings.TrimPrefix(s, "Dr. ")
+			return firstField(s, " ")
+		})
+		in, out = withIdentity(in, out, "Eran", "Kate", "Bill")
+		ts = append(ts, pairTask("sygus-firstname", "SyGus", "human name", in, out))
+	}
+	{ // sygus-name-hyphen: hyphenated last names missing from the target
+		// examples — the "McMillan"-style representativeness failure.
+		f, l := nameRows(57, 118)
+		in := make([]string, len(f))
+		out := make([]string, len(f))
+		for i := range f {
+			in[i] = f[i] + " " + l[i]
+			out[i] = l[i] + ", " + f[i][:1] + "."
+		}
+		in = append(in, "Mary Smith-Jones", "Luis Diaz-Perez", "Ana Cruz-Lopez")
+		out = append(out, "Smith-Jones, M.", "Diaz-Perez, L.", "Cruz-Lopez, A.")
+		in, out = withIdentity(in, out, "Yahav, E.", "Fisher, K.", "Gates, B.")
+		t := pairTask("sygus-name-hyphen", "SyGus", "human name", in, out)
+		t.UnrepresentativeTarget = true
+		ts = append(ts, t)
+	}
+	{ // sygus-dr-name: "First Last" -> "Dr. Last".
+		names := dataset.Names(60, 119)
+		in, out := mapped(names, func(s string) string { return "Dr. " + lastField(s, " ") })
+		in, out = withIdentity(in, out, "Dr. Yahav", "Dr. Fisher", "Dr. Gates")
+		ts = append(ts, pairTask("sygus-dr-name", "SyGus", "human name", in, out))
+	}
+
+	// University scenarios.
+	{ // sygus-univ-1: extract the institution city; long and abbreviated
+		// university prefixes.
+		rows := dataset.Universities(60, 120)
+		for i := range rows {
+			if i%3 == 2 {
+				rows[i] = "Univ. of" + strings.TrimPrefix(rows[i], "University of")
+			}
+		}
+		in, out := mapped(rows, func(s string) string {
+			c := firstField(s, ",")
+			c = strings.TrimPrefix(c, "University of ")
+			c = strings.TrimPrefix(c, "Univ. of ")
+			return c
+		})
+		in, out = withIdentity(in, out, "Austin", "Boston", "San Diego")
+		ts = append(ts, pairTask("sygus-univ-1", "SyGus", "university name", in, out))
+	}
+	{ // sygus-univ-2: extract the state.
+		rows := dataset.Universities(60, 121)
+		in, out := mapped(rows, func(s string) string { return lastField(s, ", ") })
+		in, out = withIdentity(in, out, "TX", "MA", "CA")
+		ts = append(ts, pairTask("sygus-univ-2", "SyGus", "university name", in, out))
+	}
+	{ // sygus-univ-3: "University of X, ST" -> "X, ST".
+		rows := dataset.Universities(60, 122)
+		in, out := mapped(rows, func(s string) string {
+			return strings.TrimPrefix(s, "University of ")
+		})
+		in, out = withIdentity(in, out, "Austin, TX", "Boston, MA", "San Diego, CA")
+		ts = append(ts, pairTask("sygus-univ-3", "SyGus", "university name", in, out))
+	}
+
+	// Car model scenarios.
+	{ // sygus-car-1: extract the make; dash- and colon-separated ids.
+		rows := dataset.CarModels(60, 123)
+		for i := range rows {
+			if i%3 == 2 {
+				rows[i] = strings.ReplaceAll(rows[i], "-", ":")
+			}
+		}
+		in, out := mapped(rows, func(s string) string {
+			return firstField(firstField(s, "-"), ":")
+		})
+		in, out = withIdentity(in, out, "BMW", "AUDI", "KIA")
+		ts = append(ts, pairTask("sygus-car-1", "SyGus", "car model id", in, out))
+	}
+	{ // sygus-car-2: extract the model year; dash- and colon-separated ids.
+		rows := dataset.CarModels(60, 124)
+		for i := range rows {
+			if i%3 == 2 {
+				rows[i] = strings.ReplaceAll(rows[i], "-", ":")
+			}
+		}
+		in, out := mapped(rows, func(s string) string {
+			return lastField(lastField(s, "-"), ":")
+		})
+		in, out = withIdentity(in, out, "2016", "2020", "2009")
+		ts = append(ts, pairTask("sygus-car-2", "SyGus", "car model id", in, out))
+	}
+	{ // sygus-car-3: "MAKE-trim-year" -> "MAKE trim".
+		rows := dataset.CarModels(60, 125)
+		in, out := mapped(rows, func(s string) string {
+			i := strings.Index(s, "-")
+			j := strings.LastIndex(s, "-")
+			return s[:i] + " " + s[i+1:j]
+		})
+		in, out = withIdentity(in, out, "BMW 320i", "VW golf", "KIA ev6")
+		ts = append(ts, pairTask("sygus-car-3", "SyGus", "car model id", in, out))
+	}
+
+	// Address scenarios.
+	{ // sygus-address-1: extract the city.
+		rows := dataset.Addresses(60, 126)
+		in, out := mapped(rows, dataset.AddressCity)
+		in, out = withIdentity(in, out, "Austin", "Denver", "San Diego")
+		ts = append(ts, pairTask("sygus-address-1", "SyGus", "address", in, out))
+	}
+	{ // sygus-address-2: extract the zip code; full and short addresses.
+		rows := dataset.Addresses(60, 127)
+		for i := range rows {
+			if i%3 == 2 {
+				rows[i] = lastField(rows[i], ", ") // "ST zip" only
+			}
+		}
+		in, out := mapped(rows, func(s string) string { return lastField(s, " ") })
+		in, out = withIdentity(in, out, "92173", "98052", "60606")
+		ts = append(ts, pairTask("sygus-address-2", "SyGus", "address", in, out))
+	}
+	{ // sygus-address-3: extract the state.
+		rows := dataset.Addresses(60, 128)
+		in, out := mapped(rows, func(s string) string {
+			f := lastField(s, ", ")
+			return firstField(f, " ")
+		})
+		in, out = withIdentity(in, out, "CA", "WA", "IL")
+		ts = append(ts, pairTask("sygus-address-3", "SyGus", "address", in, out))
+	}
+	{ // sygus-bikes: "Speedster 29er 2016" -> "Speedster (2016)".
+		models := []string{"Speedster", "Roadster", "Tracker", "Climber", "Cruiser", "Racer"}
+		sizes := []string{"29er", "26er", "275er"}
+		var in, out []string
+		for i := 0; i < 60; i++ {
+			m := models[i%len(models)]
+			y := 2008 + i%12
+			row := fmt.Sprintf("%s %s %d", m, sizes[i%len(sizes)], y)
+			if i%4 == 3 {
+				row = strings.ReplaceAll(row, " ", "-")
+			}
+			in = append(in, row)
+			out = append(out, fmt.Sprintf("%s (%d)", m, y))
+		}
+		in, out = withIdentity(in, out, "Speedster (2016)", "Racer (2011)")
+		ts = append(ts, pairTask("sygus-bikes", "SyGus", "car model id", in, out))
+	}
+	// Real columns carry noise records that must be left untouched (§6.1's
+	// "N/A" example); every SyGus-style task gets one.
+	for i := range ts {
+		ts[i].Inputs = append(ts[i].Inputs, "N/A")
+		ts[i].Outputs = append(ts[i].Outputs, "N/A")
+	}
+	return ts
+}
+
+func flashfillTasks() []Task {
+	var ts []Task
+	{ // ff-ex1-log: extract the page name from a log entry.
+		rows := dataset.LogLines(8, 201)
+		in, out := mapped(rows, func(s string) string {
+			p := lastField(firstField(s, ".html"), "/")
+			return p
+		})
+		in, out = withIdentity(in, out, "idx", "cart")
+		ts = append(ts, pairTask("ff-ex1-log", "FlashFill", "log entry", in, out))
+	}
+	{ // ff-ex2-dir: path minus the file name.
+		in := []string{
+			"src/lib/util/index.html",
+			"src/lib/main/page.html",
+			"docs/api/spec.html",
+			"docs/ref/list.html",
+			"web/img/pic.html",
+			"app/ui/view.html",
+			"app/db/conn.html",
+			"etc/conf/base.html",
+		}
+		_, out := mapped(in, func(s string) string {
+			return s[:strings.LastIndex(s, "/")+1]
+		})
+		in, out = withIdentity(in, out, "src/lib/util/", "docs/api/")
+		ts = append(ts, pairTask("ff-ex2-dir", "FlashFill", "file directory", in, out))
+	}
+	{ // ff-ex3-quantity: extract the number.
+		items := []string{"Alpha", "Beta", "Gamma", "Delta", "Sigma", "Omega", "Kappa", "Theta"}
+		var in, out []string
+		for i, it := range items {
+			q := 5 + i*7
+			in = append(in, fmt.Sprintf("%s %d units", it, q))
+			out = append(out, fmt.Sprintf("%d", q))
+		}
+		in, out = withIdentity(in, out, "10", "47")
+		ts = append(ts, pairTask("ff-ex3-quantity", "FlashFill", "product name", in, out))
+	}
+	{ // ff-ex7-mixed: single- or two-word names, keep the last word.
+		in := []string{
+			"Juan Gonzalez", "Mary Li", "Greta Svensson", "Omar Haddad",
+			"Cher", "Adele", "Ravi Gupta", "Bono", "Tessa Hale", "Yo Ma",
+		}
+		_, out := mapped(in, func(s string) string { return lastField(s, " ") })
+		ts = append(ts, pairTask("ff-ex7-mixed", "FlashFill", "human name", in, out))
+	}
+	{ // ff-ex8-phone: normalize three phone formats.
+		rows, want := dataset.Phones(10, 3, 208)
+		ts = append(ts, pairTask("ff-ex8-phone", "FlashFill", "phone number", rows, want))
+	}
+	{ // ff-ex9-names: the paper's Example 6 (Table 4) plus similar rows.
+		in := []string{
+			"Dr. Eran Yahav", "Fisher, K.", "Bill Gates, Sr.", "Oege de Moor",
+			"Dr. Ada Byron", "Dr. Rosa Cole", "Tom Ford, Jr.", "Ana de Luca",
+			"Miller, B.", "Keller, T.",
+		}
+		out := []string{
+			"Yahav, E.", "Fisher, K.", "Gates, B.", "Moor, O.",
+			"Byron, A.", "Cole, R.", "Ford, T.", "Luca, A.",
+			"Miller, B.", "Keller, T.",
+		}
+		ts = append(ts, pairTask("ff-ex9-names", "FlashFill", "human name", in, out))
+	}
+	{ // ff-ex10-dates: DD/MM/YYYY -> MM-DD-YYYY.
+		rows, want := dataset.Dates(9, 210)
+		in, out := withIdentity(rows, want, "12-31-2019")
+		ts = append(ts, pairTask("ff-ex10-dates", "FlashFill", "date", in, out))
+	}
+	{ // ff-ex11-names: Table 5 task 1 — reorder to "Last, First [Middle]".
+		in := []string{
+			"Barack Obama", "Ada Lovelace", "Grace Hopper",
+			"Alan M Turing", "Kurt F Godel",
+			"Obama, Barack", "Curie, Marie",
+			"Noether, Emmy A", "Emmy Noether", "Tim Lee",
+		}
+		out := []string{
+			"Obama, Barack", "Lovelace, Ada", "Hopper, Grace",
+			"Turing, Alan M", "Godel, Kurt F",
+			"Obama, Barack", "Curie, Marie",
+			"Noether, Emmy A", "Noether, Emmy", "Lee, Tim",
+		}
+		ts = append(ts, pairTask("ff-ex11-names", "FlashFill", "human name", in, out))
+	}
+	{ // ff-ex12-product: file base name before the extension.
+		rows := dataset.ProductIDs(8, 212)
+		var in, out []string
+		for _, r := range rows {
+			in = append(in, r+".MP4")
+			out = append(out, r)
+		}
+		in, out = withIdentity(in, out, "GOPR6231", "SONY0042")
+		ts = append(ts, pairTask("ff-ex12-product", "FlashFill", "product name", in, out))
+	}
+	{ // ff-ex13-picture: advanced content conditional (same pattern, output
+		// depends on a keyword) — inexpressible in UniFi (§7.4).
+		var in, out []string
+		for i := 0; i < 4; i++ {
+			in = append(in, fmt.Sprintf("picture %03d", i+1))
+			out = append(out, fmt.Sprintf("PIC-%03d", i+1))
+			in = append(in, fmt.Sprintf("invoice %03d", i+1))
+			out = append(out, fmt.Sprintf("DOC-%03d", i+1))
+		}
+		in, out = withIdentity(in, out, "PIC-777", "DOC-888")
+		t := pairTask("ff-ex13-picture", "FlashFill", "product name", in, out)
+		t.NeedsConditional = true
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+func blinkfillTasks() []Task {
+	var ts []Task
+	{ // bf-ex3-medical: the paper's Example 5 (Table 3) plus similar rows.
+		in := []string{
+			"CPT-00350", "[CPT-00340", "[CPT-11536]", "CPT115",
+			"CPT-20110", "[CPT-33417", "CPT909", "[CPT-51200]",
+			"CPT-70553", "[CPT-80061", "CPT775",
+		}
+		out := []string{
+			"[CPT-00350]", "[CPT-00340]", "[CPT-11536]", "[CPT-115]",
+			"[CPT-20110]", "[CPT-33417]", "[CPT-909]", "[CPT-51200]",
+			"[CPT-70553]", "[CPT-80061]", "[CPT-775]",
+		}
+		ts = append(ts, pairTask("bf-ex3-medical", "BlinkFill", "product id", in, out))
+	}
+	{ // bf-ex1-cities: "City, Country" -> "Country".
+		in := []string{
+			"Mumbai, India", "Paris, France", "Lima, Peru", "Oslo, Norway",
+			"Cairo, Egypt", "Quito, Ecuador", "Seoul, Korea", "Lagos, Nigeria",
+			"Kyoto, Japan", "Milan, Italy",
+		}
+		_, out := mapped(in, func(s string) string { return lastField(s, ", ") })
+		in, out = withIdentity(in, out, "India")
+		ts = append(ts, pairTask("bf-ex1-cities", "BlinkFill", "city name and country", in, out))
+	}
+	{ // bf-ex2-titles: strip honorifics; the lowercase-particle rows have no
+		// representative target example (representativeness failure).
+		in := []string{
+			"Mr. John Smith", "Ms. Jane Roe", "Mr. Omar Sy", "Ms. Amy Tan",
+			"Dr. Sam Wu", "Mr. Leo Cruz", "Ms. Ada Diaz", "Dr. Max Koch",
+			"Ludwig von Mises", "Lars de Wit",
+		}
+		out := []string{
+			"John Smith", "Jane Roe", "Omar Sy", "Amy Tan",
+			"Sam Wu", "Leo Cruz", "Ada Diaz", "Max Koch",
+			"von Mises", "de Wit",
+		}
+		in, out = withIdentity(in, out, "John Smith")
+		t := pairTask("bf-ex2-titles", "BlinkFill", "human name", in, out)
+		t.UnrepresentativeTarget = true
+		ts = append(ts, t)
+	}
+	{ // bf-ex4-product: extract the numeric part of a product id.
+		rows := dataset.ProductIDs(10, 304)
+		in, out := mapped(rows, func(s string) string { return s[4:] })
+		in, out = withIdentity(in, out, "6231", "0042")
+		ts = append(ts, pairTask("bf-ex4-product", "BlinkFill", "product id", in, out))
+	}
+	return ts
+}
+
+func predprogTasks() []Task {
+	var ts []Task
+	{ // pp-ex1-names: "First Last" -> "Last F.".
+		f, l := dataset.NameParts(8, 401)
+		in := make([]string, len(f))
+		out := make([]string, len(f))
+		for i := range f {
+			in[i] = f[i] + " " + l[i]
+			out[i] = l[i] + " " + f[i][:1] + "."
+		}
+		in, out = withIdentity(in, out, "Yahav E.", "Fisher K.")
+		ts = append(ts, pairTask("pp-ex1-names", "PredProg", "human name", in, out))
+	}
+	{ // pp-ex2-mcmillan: the paper's §7.4 failure example — "McMillan" has
+		// no representative row in the target format.
+		in := []string{
+			"John Doe", "Amy Poe", "Max Ray", "Ben Cho", "Kim Day",
+			"Ada Fox", "Rob McMillan", "Liz McCarthy",
+		}
+		out := []string{
+			"Doe, J.", "Poe, A.", "Ray, M.", "Cho, B.", "Day, K.",
+			"Fox, A.", "McMillan, R.", "McCarthy, L.",
+		}
+		in, out = withIdentity(in, out, "Smith, J.", "Jones, K.")
+		t := pairTask("pp-ex2-mcmillan", "PredProg", "human name", in, out)
+		t.UnrepresentativeTarget = true
+		ts = append(ts, t)
+	}
+	{ // pp-ex3-address: Table 5 task 2 — extract the city from
+		// heterogeneous addresses (App C questions 4–6).
+		in := []string{
+			"155 Main St, San Diego, CA 92173",
+			"14820 NE 36th Street, Redmond, WA 98052",
+			"12 South Michigan Ave, Chicago",
+			"870 Market St, San Francisco, CA 94102",
+			"3600 Forbes Ave, Pittsburgh, PA 15213",
+			"77 West Wacker Dr, Chicago",
+			"500 Oak Rd, Denver, CO 80014",
+			"9 Elm Ct, Boston, MA 02108",
+		}
+		out := []string{
+			"San Diego", "Redmond", "Chicago", "San Francisco",
+			"Pittsburgh", "Chicago", "Denver", "Boston",
+		}
+		in, out = withIdentity(in, out, "Denver", "San Jose")
+		ts = append(ts, pairTask("pp-ex3-address", "PredProg", "address", in, out))
+	}
+	return ts
+}
+
+func proseTasks() []Task {
+	var ts []Task
+	{ // prose-ex1-country: "Country NN" -> "NN (Country)".
+		countries := []string{
+			"France", "Spain", "Italy", "Norway", "Peru", "Chile",
+			"Kenya", "Ghana", "Japan", "Korea", "India", "Egypt",
+		}
+		var in, out []string
+		for i := 0; i < 36; i++ {
+			c := countries[i%len(countries)]
+			code := 20 + i*3%80
+			in = append(in, fmt.Sprintf("%s %d", c, code))
+			out = append(out, fmt.Sprintf("%d (%s)", code, c))
+		}
+		in, out = withIdentity(in, out, "33 (France)", "81 (Japan)", "51 (Peru)")
+		ts = append(ts, pairTask("prose-ex1-country", "Prose", "country and number", in, out))
+	}
+	{ // prose-ex2-email: local part to words; three-segment local parts
+		// have no representative target example (representativeness
+		// failure).
+		f, l := dataset.NameParts(33, 502)
+		var in, out []string
+		for i := range f {
+			in = append(in, strings.ToLower(f[i])+"."+strings.ToLower(l[i])+"@acme.com")
+			out = append(out, strings.ToLower(f[i])+" "+strings.ToLower(l[i]))
+		}
+		in = append(in, "mary.ann.lee@acme.com", "jo.el.kim@acme.com")
+		out = append(out, "mary ann lee", "jo el kim")
+		in, out = withIdentity(in, out, "eran yahav", "kate fisher", "bill gates")
+		t := pairTask("prose-ex2-email", "Prose", "email", in, out)
+		t.UnrepresentativeTarget = true
+		ts = append(ts, t)
+	}
+	{ // prose-ex3-popl13: affiliations between commas — names, orgs and
+		// countries share no distinctive syntax, so CLX needs several
+		// target selections and repairs (App E's costly case).
+		people := []string{
+			"John Smith, INRIA, France",
+			"Ada Byron, MIT, USA",
+			"Tom Ford, Univ. of Madison, USA",
+			"Kim Day, ETH Zurich, Suisse",
+			"Bob Roe, CMU, USA",
+			"Ana Cruz, Univ. of Boston, USA",
+			"Max Koch, ETH Zurich, Suisse",
+			"Joe Poe, IBM, USA",
+			"Amy Tan, Univ. of Austin, USA",
+			"Rob Fox, KTH, Sweden",
+			"Sam Wu, NEC Labs, Japan",
+			"Liz Ray, SAP, Germany",
+		}
+		var in, out []string
+		for i := 0; i < 33; i++ {
+			row := people[i%len(people)]
+			parts := strings.Split(row, ", ")
+			in = append(in, row)
+			out = append(out, parts[1])
+		}
+		in, out = withIdentity(in, out, "INRIA", "Univ. of Madison", "ETH Zurich", "NEC Labs")
+		ts = append(ts, pairTask("prose-ex3-popl13", "Prose", "human name and affiliation", in, out))
+	}
+	return ts
+}

@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"clx/internal/pattern"
+)
+
+var phones = []string{
+	"(734) 645-8397",
+	"(734)586-7252",
+	"734-422-8073",
+	"734.236.3466",
+	"(313) 263-1192",
+	"313-263-1192",
+}
+
+func TestInitialClustering(t *testing.T) {
+	cs := Initial(phones, Options{})
+	wantPatterns := []string{
+		"'('<D>3')'' '<D>3'-'<D>4",
+		"'('<D>3')'<D>3'-'<D>4",
+		"<D>3'-'<D>3'-'<D>4",
+		"<D>3'.'<D>3'.'<D>4",
+	}
+	if len(cs) != len(wantPatterns) {
+		t.Fatalf("got %d clusters, want %d", len(cs), len(wantPatterns))
+	}
+	for i, want := range wantPatterns {
+		if got := cs[i].Pattern.String(); got != want {
+			t.Errorf("cluster %d pattern = %q, want %q", i, got, want)
+		}
+	}
+	if got := cs[0].Rows; !reflect.DeepEqual(got, []int{0, 4}) {
+		t.Errorf("cluster 0 rows = %v, want [0 4]", got)
+	}
+	if got := cs[2].Rows; !reflect.DeepEqual(got, []int{2, 5}) {
+		t.Errorf("cluster 2 rows = %v, want [2 5]", got)
+	}
+	if cs[0].Sample != "(734) 645-8397" {
+		t.Errorf("cluster 0 sample = %q", cs[0].Sample)
+	}
+}
+
+// Property: clusters partition the dataset — every row in exactly one
+// cluster, and every row matches its cluster's pattern.
+func TestInitialPartition(t *testing.T) {
+	gen := func(v []reflect.Value, r *rand.Rand) {
+		n := 1 + r.Intn(40)
+		data := make([]string, n)
+		for i := range data {
+			m := r.Intn(12)
+			b := make([]byte, m)
+			const alphabet = "ab01X .-(@"
+			for j := range b {
+				b[j] = alphabet[r.Intn(len(alphabet))]
+			}
+			data[i] = string(b)
+		}
+		v[0] = reflect.ValueOf(data)
+	}
+	f := func(data []string) bool {
+		for _, opts := range []Options{{}, DefaultOptions()} {
+			cs := Initial(data, opts)
+			seen := make(map[int]bool)
+			for _, c := range cs {
+				for _, ri := range c.Rows {
+					if seen[ri] {
+						return false
+					}
+					seen[ri] = true
+					if !c.Pattern.Matches(data[ri]) {
+						return false
+					}
+				}
+			}
+			if len(seen) != len(data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120, Values: gen}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiscoverConstants(t *testing.T) {
+	data := []string{
+		"Dr. Alice", "Dr. Bobby", "Dr. Carol",
+	}
+	cs := Initial(data, DefaultOptions())
+	if len(cs) != 1 {
+		t.Fatalf("got %d clusters, want 1", len(cs))
+	}
+	// <U><L>'.'' '<U><L>4 with constant "Dr" discovered and coalesced; the
+	// '.' and ' ' literals stay separate so they remain plain punctuation
+	// tokens.
+	got := cs[0].Pattern.String()
+	want := "'Dr''.'' '<U><L>4"
+	if got != want {
+		t.Errorf("constant pattern = %q, want %q", got, want)
+	}
+	for _, s := range data {
+		if !cs[0].Pattern.Matches(s) {
+			t.Errorf("constant pattern does not match %q", s)
+		}
+	}
+}
+
+func TestDiscoverConstantsMinSupport(t *testing.T) {
+	data := []string{"Dr. Alice", "Dr. Bobby"}
+	cs := Initial(data, DefaultOptions()) // support 3 > 2 members
+	if got := cs[0].Pattern.String(); got != "<U><L>'.'' '<U><L>4" {
+		t.Errorf("pattern = %q, constants should not be discovered below MinConstantSupport", got)
+	}
+}
+
+func TestDiscoverConstantsMaxLen(t *testing.T) {
+	opts := DefaultOptions()
+	data := []string{"abcdefghijklmn", "abcdefghijklmn", "abcdefghijklmn"}
+	cs := Initial(data, opts)
+	if got := cs[0].Pattern.String(); got != "<L>14" {
+		t.Errorf("pattern = %q, long constants should not be frozen", got)
+	}
+}
+
+func TestGeneralizeStrategies(t *testing.T) {
+	tests := []struct {
+		in   string
+		g    Strategy
+		want string
+	}{
+		// Figure 6 chain.
+		{"<U><L>2<D>3'@'<L>5'.'<L>3", QuantToPlus, "<U>+<L>+<D>+'@'<L>+'.'<L>+"},
+		{"<U>+<L>+<D>+'@'<L>+'.'<L>+", LettersToAlpha, "<A>+<D>+'@'<A>+'.'<A>+"},
+		{"<A>+<D>+'@'<A>+'.'<A>+", AllToAlphaNum, "<AN>+'@'<AN>+'.'<AN>+"},
+		// Literal '-' and ' ' fold into <AN>.
+		{"<A>+'-'<D>+", AllToAlphaNum, "<AN>+"},
+		{"<A>+' '<A>+", AllToAlphaNum, "<AN>+"},
+		{"<A>+'.'<A>+", AllToAlphaNum, "<AN>+'.'<AN>+"},
+		// Strategy 1 leaves literals alone.
+		{"'('<D>3')'", QuantToPlus, "'('<D>+')'"},
+	}
+	for _, tc := range tests {
+		got := Generalize(pattern.MustParse(tc.in), tc.g).String()
+		if got != tc.want {
+			t.Errorf("Generalize(%q, %d) = %q, want %q", tc.in, tc.g, got, tc.want)
+		}
+	}
+}
+
+// Property: a generalized pattern matches everything its child matched.
+func TestGeneralizeSubsumes(t *testing.T) {
+	samples := []string{
+		"Bob123@gmail.com", "(734) 645-8397", "CPT-00350", "Dr. Eran Yahav",
+		"a-b c_d", "X9",
+	}
+	for _, s := range samples {
+		p := pattern.FromString(s)
+		for _, g := range []Strategy{QuantToPlus, LettersToAlpha, AllToAlphaNum} {
+			p = Generalize(p, g)
+			if !p.Matches(s) {
+				t.Errorf("after strategy %d, %q no longer matches %q", g, p, s)
+			}
+		}
+	}
+}
+
+func TestProfileHierarchy(t *testing.T) {
+	h := Profile(phones, DefaultOptions())
+	if len(h.Levels) != 4 {
+		t.Fatalf("levels = %d, want 4", len(h.Levels))
+	}
+	if len(h.Levels[0]) != 4 {
+		t.Errorf("leaf nodes = %d, want 4", len(h.Levels[0]))
+	}
+	// Level 1: quantifiers -> '+' keeps 4 distinct structures.
+	if len(h.Levels[1]) != 4 {
+		t.Errorf("level-1 nodes = %d, want 4", len(h.Levels[1]))
+	}
+	// Level 3: '-' folds into <AN>: "(ddd) ddd-dddd" -> '('<AN>+')'<AN>+,
+	// "(ddd)ddd-dddd" -> same, "ddd-ddd-dddd" -> <AN>+,
+	// "ddd.ddd.dddd" -> <AN>+'.'<AN>+'.'<AN>+.
+	roots := h.Roots()
+	if len(roots) != 3 {
+		t.Fatalf("roots = %d (%v), want 3", len(roots), roots)
+	}
+	// Root ranking: the '(' family covers 2 leaf patterns and comes first.
+	if got := roots[0].Pattern.String(); got != "'('<AN>+')'<AN>+" {
+		t.Errorf("top root = %q, want '('<AN>+')'<AN>+", got)
+	}
+	if len(roots[0].Children) != 2 {
+		t.Errorf("top root children = %d, want 2", len(roots[0].Children))
+	}
+	// Every root's leaves' rows sum to the dataset size across roots.
+	total := 0
+	for _, r := range roots {
+		total += r.Rows()
+	}
+	if total != len(phones) {
+		t.Errorf("root coverage = %d rows, want %d", total, len(phones))
+	}
+}
+
+// Property: every parent node's pattern generalizes (token-wise or
+// semantically) each of its children's patterns — checked semantically via
+// member strings.
+func TestHierarchyParentCoversChildren(t *testing.T) {
+	data := append([]string{}, phones...)
+	data = append(data, "Bob123@gmail.com", "alice@web.de", "N/A", "X-1", "12345")
+	h := Profile(data, DefaultOptions())
+	for _, level := range h.Levels[1:] {
+		for _, n := range level {
+			for _, leaf := range n.Leaves {
+				for _, ri := range leaf.Rows {
+					if !n.Pattern.Matches(data[ri]) {
+						t.Errorf("level-%d pattern %q does not match covered row %q",
+							n.Level, n.Pattern, data[ri])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: each level covers all leaves exactly once.
+func TestHierarchyLevelsPartitionLeaves(t *testing.T) {
+	data := append([]string{}, phones...)
+	data = append(data, "a@b.c", "1-2-3", "hello world")
+	h := Profile(data, DefaultOptions())
+	for li, level := range h.Levels {
+		seen := make(map[*Cluster]bool)
+		for _, n := range level {
+			for _, leaf := range n.Leaves {
+				if seen[leaf] {
+					t.Errorf("level %d: leaf %q covered twice", li, leaf.Pattern)
+				}
+				seen[leaf] = true
+			}
+		}
+		if len(seen) != len(h.Clusters) {
+			t.Errorf("level %d covers %d leaves, want %d", li, len(seen), len(h.Clusters))
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	h := Profile(phones, DefaultOptions())
+	p := pattern.MustParse("<D>3'-'<D>3'-'<D>4")
+	n := h.Find(p)
+	if n == nil || n.Level != 0 {
+		t.Fatalf("Find(%q) = %v", p, n)
+	}
+	if h.Find(pattern.MustParse("'x'")) != nil {
+		t.Error("Find of absent pattern returned a node")
+	}
+	if h.FindLevel(99, p) != nil {
+		t.Error("FindLevel out of range returned a node")
+	}
+}
+
+func TestEmptyData(t *testing.T) {
+	h := Profile(nil, DefaultOptions())
+	if len(h.Clusters) != 0 || len(h.Roots()) != 0 {
+		t.Error("empty data should produce empty hierarchy")
+	}
+}
+
+func TestEmptyStringsCluster(t *testing.T) {
+	h := Profile([]string{"", "", "a"}, DefaultOptions())
+	if len(h.Clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2 (empty pattern + <L>)", len(h.Clusters))
+	}
+	if !h.Clusters[0].Pattern.IsEmpty() {
+		t.Error("first cluster should be the empty pattern")
+	}
+}

@@ -1,0 +1,298 @@
+// Package dataset generates the deterministic synthetic datasets used by the
+// experiments. The paper's §7.2 study uses the phone-number column of the
+// NYC OpenData "Times Square Food & Beverage Locations" set (331 messy
+// rows); that data is reproduced here as a generator emitting the same six
+// real-world formats in realistic proportions (see DESIGN.md,
+// substitutions). Additional generators provide the sized inputs of the
+// 47-task benchmark suite.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// PhoneFormat identifies one of the messy phone formats of Figures 1 and 3.
+type PhoneFormat int
+
+const (
+	// PhoneDashes is "734-422-8073" — the §7.2 target format.
+	PhoneDashes PhoneFormat = iota
+	// PhoneParenSpace is "(734) 645-8397".
+	PhoneParenSpace
+	// PhoneParen is "(734)586-7252".
+	PhoneParen
+	// PhoneDots is "734.236.3466".
+	PhoneDots
+	// PhoneSpaces is "734 236 3466".
+	PhoneSpaces
+	// PhonePlus is "+1 734-236-3466" (the paper's motivating-example
+	// format).
+	PhonePlus
+	// PhonePlain is "7342363466".
+	PhonePlain
+	numPhoneFormats
+)
+
+// NumPhoneFormats is the number of distinct phone formats available.
+const NumPhoneFormats = int(numPhoneFormats)
+
+// FormatPhone renders the ten digits d (d[0] is the leading area-code digit)
+// in the given format.
+func FormatPhone(f PhoneFormat, d [10]byte) string {
+	s := make([]byte, 10)
+	for i, v := range d {
+		s[i] = '0' + v
+	}
+	a, b, c := string(s[0:3]), string(s[3:6]), string(s[6:10])
+	switch f {
+	case PhoneDashes:
+		return a + "-" + b + "-" + c
+	case PhoneParenSpace:
+		return "(" + a + ") " + b + "-" + c
+	case PhoneParen:
+		return "(" + a + ")" + b + "-" + c
+	case PhoneDots:
+		return a + "." + b + "." + c
+	case PhoneSpaces:
+		return a + " " + b + " " + c
+	case PhonePlus:
+		return "+1 " + a + "-" + b + "-" + c
+	default:
+		return a + b + c
+	}
+}
+
+// CanonicalPhone renders d in the study's target format <D>3-<D>3-<D>4.
+func CanonicalPhone(d [10]byte) string { return FormatPhone(PhoneDashes, d) }
+
+func randDigits(r *rand.Rand) [10]byte {
+	var d [10]byte
+	for i := range d {
+		d[i] = byte(r.Intn(10))
+	}
+	if d[0] == 0 {
+		d[0] = 2 + byte(r.Intn(8)) // area codes do not start with 0
+	}
+	return d
+}
+
+// Phones generates n phone numbers drawn from the first k formats, seeded
+// deterministically. Rows cycle through the k formats so every format is
+// present; the digits vary per row. The returned want slice holds the
+// canonical (dash) rendering of each row.
+func Phones(n, k int, seed int64) (rows, want []string) {
+	if k < 1 {
+		k = 1
+	}
+	if k > NumPhoneFormats {
+		k = NumPhoneFormats
+	}
+	r := rand.New(rand.NewSource(seed))
+	rows = make([]string, n)
+	want = make([]string, n)
+	for i := 0; i < n; i++ {
+		d := randDigits(r)
+		f := PhoneFormat(i % k)
+		rows[i] = FormatPhone(f, d)
+		want[i] = CanonicalPhone(d)
+	}
+	return rows, want
+}
+
+// TimesSquarePhones reproduces the §7.2 study input: 331 messy phone
+// numbers across six formats, with the cluster-size skew of Figure 3
+// (parenthesized-space dominant, then dashes, dots, and a tail), plus a few
+// "N/A" noise rows as discussed in §6.1.
+func TimesSquarePhones() (rows, want []string) {
+	r := rand.New(rand.NewSource(20170331))
+	counts := map[PhoneFormat]int{
+		PhoneParenSpace: 112,
+		PhoneDashes:     89,
+		PhoneDots:       52,
+		PhoneParen:      38,
+		PhoneSpaces:     18,
+		PhonePlus:       10,
+		PhonePlain:      8,
+	}
+	const noise = 4 // "N/A" rows
+	for f := PhoneFormat(0); f < numPhoneFormats; f++ {
+		for i := 0; i < counts[f]; i++ {
+			d := randDigits(r)
+			rows = append(rows, FormatPhone(f, d))
+			want = append(want, CanonicalPhone(d))
+		}
+	}
+	for i := 0; i < noise; i++ {
+		rows = append(rows, "N/A")
+		want = append(want, "N/A")
+	}
+	// Deterministic shuffle so formats interleave as in a real column.
+	r.Shuffle(len(rows), func(i, j int) {
+		rows[i], rows[j] = rows[j], rows[i]
+		want[i], want[j] = want[j], want[i]
+	})
+	return rows, want
+}
+
+var (
+	firstNames = []string{
+		"Eran", "Bill", "Oege", "Sumit", "Rishabh", "Alice", "Carol",
+		"David", "Grace", "Henry", "Irene", "Kevin", "Laura", "Martin",
+		"Nina", "Oscar", "Paula", "Quinn", "Rosa", "Steve",
+	}
+	lastNames = []string{
+		"Yahav", "Gates", "Moor", "Gulwani", "Singh", "Baker", "Chen",
+		"Davis", "Evans", "Fischer", "Garcia", "Hopper", "Iverson",
+		"Jones", "Keller", "Lopez", "Miller", "Nolan", "Olsen", "Parker",
+	}
+	streets = []string{
+		"Main St", "Oak Ave", "Pine Rd", "Maple Dr", "Cedar Ln",
+		"2nd Ave", "Park Blvd", "Lake View", "Hill Ct", "Bay St",
+	}
+	cities = []string{
+		"San Diego", "Redmond", "Chicago", "Austin", "Denver",
+		"Boston", "Seattle", "Portland", "Madison", "Ann Arbor",
+	}
+	states = []string{"CA", "WA", "IL", "TX", "CO", "MA", "OR", "MI", "NY", "WI"}
+)
+
+// Names generates n "First Last" names.
+func Names(n int, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = firstNames[r.Intn(len(firstNames))] + " " + lastNames[r.Intn(len(lastNames))]
+	}
+	return out
+}
+
+// NameParts generates n names and returns the first/last components.
+func NameParts(n int, seed int64) (first, last []string) {
+	r := rand.New(rand.NewSource(seed))
+	first = make([]string, n)
+	last = make([]string, n)
+	for i := 0; i < n; i++ {
+		first[i] = firstNames[r.Intn(len(firstNames))]
+		last[i] = lastNames[r.Intn(len(lastNames))]
+	}
+	return first, last
+}
+
+// Addresses generates n "num street, City, ST zip" addresses.
+func Addresses(n int, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%d %s, %s, %s %05d",
+			1+r.Intn(9999), streets[r.Intn(len(streets))],
+			cities[r.Intn(len(cities))], states[r.Intn(len(states))],
+			10000+r.Intn(89999))
+	}
+	return out
+}
+
+// AddressCity returns the city component of an address produced by
+// Addresses.
+func AddressCity(addr string) string {
+	parts := strings.Split(addr, ", ")
+	if len(parts) < 2 {
+		return ""
+	}
+	return parts[1]
+}
+
+// Dates generates n dates; each row is returned in DD/MM/YYYY order along
+// with the MM-DD-YYYY ground truth.
+func Dates(n int, seed int64) (rows, want []string) {
+	r := rand.New(rand.NewSource(seed))
+	rows = make([]string, n)
+	want = make([]string, n)
+	for i := 0; i < n; i++ {
+		d, m, y := 1+r.Intn(28), 1+r.Intn(12), 1980+r.Intn(45)
+		rows[i] = fmt.Sprintf("%02d/%02d/%04d", d, m, y)
+		want[i] = fmt.Sprintf("%02d-%02d-%04d", m, d, y)
+	}
+	return rows, want
+}
+
+// ProductIDs generates n BlinkFill-style product ids like "GOPR6231".
+func ProductIDs(n int, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	prefixes := []string{"GOPR", "CANN", "NIKO", "SONY", "FUJI", "PANA"}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%04d", prefixes[r.Intn(len(prefixes))], r.Intn(10000))
+	}
+	return out
+}
+
+// CarModels generates SyGus-style car model ids like "BMW-320i-2016".
+func CarModels(n int, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	makes := []string{"BMW", "AUDI", "FORD", "KIA", "VW", "FIAT"}
+	trims := []string{"320i", "a4", "gt", "ev6", "golf", "500e"}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s-%s-%d",
+			makes[r.Intn(len(makes))], trims[r.Intn(len(trims))], 2005+r.Intn(20))
+	}
+	return out
+}
+
+// Universities generates SyGus-style "University of X, ST" rows.
+func Universities(n int, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("University of %s, %s",
+			cities[r.Intn(len(cities))], states[r.Intn(len(states))])
+	}
+	return out
+}
+
+// LogLines generates FlashFill-style log entries
+// "203.12.1.45 - GET /idx.html [21/Jun/2019]".
+func LogLines(n int, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	pages := []string{"idx", "home", "cart", "list", "item", "help"}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%d.%d.%d.%d - GET /%s.html [%02d/Jun/2019]",
+			1+r.Intn(254), r.Intn(256), r.Intn(256), 1+r.Intn(254),
+			pages[r.Intn(len(pages))], 1+r.Intn(28))
+	}
+	return out
+}
+
+// URLs generates FlashFill-style urls "https://www.host.com/path/page".
+func URLs(n int, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	hosts := []string{"example", "shopping", "research", "weather", "news"}
+	paths := []string{"a", "docs", "img", "cgi", "x"}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("https://www.%s.com/%s/p%d",
+			hosts[r.Intn(len(hosts))], paths[r.Intn(len(paths))], r.Intn(100))
+	}
+	return out
+}
+
+// Mix interleaves several row sets deterministically: rows are taken round
+// robin until all sets are exhausted.
+func Mix(sets ...[]string) []string {
+	var out []string
+	for i := 0; ; i++ {
+		advanced := false
+		for _, s := range sets {
+			if i < len(s) {
+				out = append(out, s[i])
+				advanced = true
+			}
+		}
+		if !advanced {
+			return out
+		}
+	}
+}

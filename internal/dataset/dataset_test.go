@@ -1,0 +1,208 @@
+package dataset
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"clx/internal/pattern"
+)
+
+func TestFormatPhone(t *testing.T) {
+	d := [10]byte{7, 3, 4, 4, 2, 2, 8, 0, 7, 3}
+	tests := map[PhoneFormat]string{
+		PhoneDashes:     "734-422-8073",
+		PhoneParenSpace: "(734) 422-8073",
+		PhoneParen:      "(734)422-8073",
+		PhoneDots:       "734.422.8073",
+		PhoneSpaces:     "734 422 8073",
+		PhonePlain:      "7344228073",
+	}
+	for f, want := range tests {
+		if got := FormatPhone(f, d); got != want {
+			t.Errorf("FormatPhone(%d) = %q, want %q", f, got, want)
+		}
+	}
+}
+
+func TestPhonesDeterministicAndSized(t *testing.T) {
+	rows1, want1 := Phones(100, 4, 1)
+	rows2, want2 := Phones(100, 4, 1)
+	if !reflect.DeepEqual(rows1, rows2) || !reflect.DeepEqual(want1, want2) {
+		t.Error("Phones is not deterministic")
+	}
+	if len(rows1) != 100 || len(want1) != 100 {
+		t.Fatalf("sizes: %d, %d", len(rows1), len(want1))
+	}
+	// Exactly 4 distinct patterns.
+	pats := make(map[string]bool)
+	for _, r := range rows1 {
+		pats[pattern.FromString(r).Key()] = true
+	}
+	if len(pats) != 4 {
+		t.Errorf("distinct patterns = %d, want 4", len(pats))
+	}
+	// Ground truth is the canonical format with the same digits.
+	for i, r := range rows1 {
+		digits := strings.Map(func(c rune) rune {
+			if c >= '0' && c <= '9' {
+				return c
+			}
+			return -1
+		}, r)
+		wantDigits := strings.ReplaceAll(want1[i], "-", "")
+		if digits != wantDigits {
+			t.Errorf("row %d: digits %q, want %q", i, digits, wantDigits)
+		}
+	}
+}
+
+func TestPhonesClampsK(t *testing.T) {
+	rows, _ := Phones(10, 99, 1)
+	if len(rows) != 10 {
+		t.Fatal("size")
+	}
+	rows, _ = Phones(3, 0, 1)
+	if len(rows) != 3 {
+		t.Fatal("size with k=0")
+	}
+}
+
+func TestTimesSquarePhones(t *testing.T) {
+	rows, want := TimesSquarePhones()
+	if len(rows) != 331 {
+		t.Fatalf("rows = %d, want 331", len(rows))
+	}
+	if len(want) != len(rows) {
+		t.Fatalf("want rows mismatch")
+	}
+	pats := make(map[string]int)
+	for _, r := range rows {
+		pats[pattern.FromString(r).Key()]++
+	}
+	// 6 phone formats + N/A noise pattern = 7 distinct patterns.
+	if len(pats) != 8 {
+		t.Errorf("distinct patterns = %d, want 8", len(pats))
+	}
+	na := 0
+	for i, r := range rows {
+		if r == "N/A" {
+			na++
+			if want[i] != "N/A" {
+				t.Error("noise row should map to itself")
+			}
+		}
+	}
+	if na != 4 {
+		t.Errorf("noise rows = %d, want 4", na)
+	}
+	// Deterministic across calls.
+	rows2, _ := TimesSquarePhones()
+	if !reflect.DeepEqual(rows, rows2) {
+		t.Error("TimesSquarePhones is not deterministic")
+	}
+}
+
+func TestDates(t *testing.T) {
+	rows, want := Dates(50, 7)
+	for i := range rows {
+		d, m, y := rows[i][0:2], rows[i][3:5], rows[i][6:10]
+		if want[i] != m+"-"+d+"-"+y {
+			t.Errorf("row %d: %q -> %q", i, rows[i], want[i])
+		}
+	}
+}
+
+func TestAddressCity(t *testing.T) {
+	addrs := Addresses(20, 3)
+	for _, a := range addrs {
+		city := AddressCity(a)
+		if city == "" || !strings.Contains(a, ", "+city+", ") {
+			t.Errorf("AddressCity(%q) = %q", a, city)
+		}
+	}
+	if AddressCity("garbage") != "" {
+		t.Error("AddressCity on garbage should be empty")
+	}
+}
+
+func TestGeneratorsNonEmptyAndDeterministic(t *testing.T) {
+	gens := map[string]func() []string{
+		"Names":        func() []string { return Names(10, 1) },
+		"Addresses":    func() []string { return Addresses(10, 1) },
+		"ProductIDs":   func() []string { return ProductIDs(10, 1) },
+		"CarModels":    func() []string { return CarModels(10, 1) },
+		"Universities": func() []string { return Universities(10, 1) },
+		"LogLines":     func() []string { return LogLines(10, 1) },
+		"URLs":         func() []string { return URLs(10, 1) },
+	}
+	for name, g := range gens {
+		a, b := g(), g()
+		if len(a) != 10 {
+			t.Errorf("%s: %d rows", name, len(a))
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s is not deterministic", name)
+		}
+		for _, s := range a {
+			if s == "" {
+				t.Errorf("%s produced empty row", name)
+			}
+		}
+	}
+}
+
+func TestMix(t *testing.T) {
+	got := Mix([]string{"a", "b", "c"}, []string{"1"}, []string{"x", "y"})
+	want := []string{"a", "1", "x", "b", "y", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Mix = %v, want %v", got, want)
+	}
+	if Mix() != nil {
+		t.Error("Mix() should be nil")
+	}
+}
+
+func TestNameParts(t *testing.T) {
+	first, last := NameParts(5, 9)
+	if len(first) != 5 || len(last) != 5 {
+		t.Fatal("sizes")
+	}
+	for i := range first {
+		if first[i] == "" || last[i] == "" {
+			t.Error("empty name part")
+		}
+	}
+}
+
+func TestPhonePlusFormat(t *testing.T) {
+	d := [10]byte{7, 3, 4, 2, 3, 6, 3, 4, 6, 6}
+	if got := FormatPhone(PhonePlus, d); got != "+1 734-236-3466" {
+		t.Errorf("PhonePlus = %q", got)
+	}
+}
+
+func TestPhonesGroundTruthAligned(t *testing.T) {
+	rows, want := Phones(30, 6, 77)
+	for i := range rows {
+		if rows[i] == "" || want[i] == "" {
+			t.Fatalf("row %d empty", i)
+		}
+		// Canonical form is always dashes with the same digit count.
+		if len(want[i]) != 12 {
+			t.Errorf("want[%d] = %q", i, want[i])
+		}
+	}
+}
+
+func TestTimesSquareSkew(t *testing.T) {
+	rows, _ := TimesSquarePhones()
+	pats := map[string]int{}
+	for _, r := range rows {
+		pats[pattern.FromString(r).Key()]++
+	}
+	// The parenthesized-space format dominates, as in Figure 3.
+	if pats["'('<D>3')'' '<D>3'-'<D>4"] != 112 {
+		t.Errorf("dominant format count = %d, want 112", pats["'('<D>3')'' '<D>3'-'<D>4"])
+	}
+}

@@ -1,0 +1,344 @@
+// Package experiments computes every table and figure of the paper's
+// evaluation (§7, Appendices D–E). Each exported function returns the typed
+// series for one exhibit; cmd/clxbench prints them in the paper's layout
+// and bench_test.go reports them as benchmark metrics. EXPERIMENTS.md
+// records paper-vs-measured for each.
+package experiments
+
+import (
+	"sync"
+
+	"clx/internal/benchsuite"
+	"clx/internal/dataset"
+	"clx/internal/simuser"
+	"clx/internal/userstudy"
+)
+
+// taskRun caches one full three-system simulation of a benchmark task.
+type taskRun struct {
+	Task benchsuite.Task
+	CLX  simuser.CLXResult
+	FF   simuser.FFResult
+	RR   simuser.RRResult
+}
+
+var (
+	suiteOnce sync.Once
+	suiteRuns []taskRun
+
+	studyOnce sync.Once
+	studyRes  []userstudy.CaseResult
+)
+
+// SuiteRuns simulates the lazy user on all 47 benchmark tasks with all
+// three systems, once.
+func SuiteRuns() []taskRun {
+	suiteOnce.Do(func() {
+		for _, task := range benchsuite.Tasks() {
+			suiteRuns = append(suiteRuns, taskRun{
+				Task: task,
+				CLX:  simuser.SimulateCLX(task.Inputs, task.Outputs, simuser.DefaultOptions()),
+				FF:   simuser.SimulateFlashFill(task.Inputs, task.Outputs),
+				RR:   simuser.SimulateRegexReplace(task.Inputs, task.Outputs),
+			})
+		}
+	})
+	return suiteRuns
+}
+
+// Study runs (and caches) the §7.2 verification study.
+func Study() []userstudy.CaseResult {
+	studyOnce.Do(func() {
+		studyRes = userstudy.RunVerificationStudy(userstudy.DefaultCosts())
+	})
+	return studyRes
+}
+
+// SystemsRow is one bar group of Figures 11a/12/14: a value per system in
+// the paper's plotting order.
+type SystemsRow struct {
+	Label       string
+	RR, FF, CLX float64
+}
+
+// Fig11aCompletionTime returns overall completion time (s) by study case.
+func Fig11aCompletionTime() []SystemsRow {
+	var out []SystemsRow
+	for _, r := range Study() {
+		out = append(out, SystemsRow{
+			Label: r.Case.Name,
+			RR:    r.RR.Total(), FF: r.FF.Total(), CLX: r.CLX.Total(),
+		})
+	}
+	return out
+}
+
+// Fig11bInteractions returns rounds of interactions by study case.
+func Fig11bInteractions() []SystemsRow {
+	var out []SystemsRow
+	for _, r := range Study() {
+		out = append(out, SystemsRow{
+			Label: r.Case.Name,
+			RR:    float64(r.RR.CountedInteractions()),
+			FF:    float64(r.FF.CountedInteractions()),
+			CLX:   float64(r.CLX.CountedInteractions()),
+		})
+	}
+	return out
+}
+
+// Fig11cTimestamps returns the per-interaction timestamps (s) of the
+// 300(6) sessions, one series per system.
+func Fig11cTimestamps() (rr, ff, clx []float64) {
+	r := Study()[2]
+	series := func(s userstudy.Session) []float64 {
+		var ts []float64
+		for _, it := range s.Interactions {
+			if it.Kind == "final-check" {
+				continue
+			}
+			ts = append(ts, it.At)
+		}
+		return ts
+	}
+	return series(r.RR), series(r.FF), series(r.CLX)
+}
+
+// Fig12VerificationTime returns verification time (s) by study case.
+func Fig12VerificationTime() []SystemsRow {
+	var out []SystemsRow
+	for _, r := range Study() {
+		out = append(out, SystemsRow{
+			Label: r.Case.Name,
+			RR:    r.RR.VerificationTime(),
+			FF:    r.FF.VerificationTime(),
+			CLX:   r.CLX.VerificationTime(),
+		})
+	}
+	return out
+}
+
+// VerificationGrowth returns the §7.2 headline factors: verification-time
+// growth from 10(2) to 300(6) per system (paper: CLX 1.3×, FlashFill
+// 11.4×).
+func VerificationGrowth() (clx, ff, rr float64) {
+	res := Study()
+	g := func(f func(userstudy.CaseResult) float64) float64 { return userstudy.Growth(res, f) }
+	return g(func(r userstudy.CaseResult) float64 { return r.CLX.VerificationTime() }),
+		g(func(r userstudy.CaseResult) float64 { return r.FF.VerificationTime() }),
+		g(func(r userstudy.CaseResult) float64 { return r.RR.VerificationTime() })
+}
+
+// Fig13Comprehension returns the §7.3 quiz correct rates.
+func Fig13Comprehension() []userstudy.QuizResult { return userstudy.RunQuiz() }
+
+// Fig14TaskCompletion returns completion time (s) for the three Table 5
+// tasks.
+func Fig14TaskCompletion() []SystemsRow {
+	sessions := userstudy.TaskSessions(userstudy.DefaultCosts())
+	labels := []string{"task1", "task2", "task3"}
+	var out []SystemsRow
+	for ti, row := range sessions {
+		out = append(out, SystemsRow{
+			Label: labels[ti],
+			CLX:   row[0].Total(), FF: row[1].Total(), RR: row[2].Total(),
+		})
+	}
+	return out
+}
+
+// Table5Row is one row of Table 5 (explainability test cases).
+type Table5Row struct {
+	TaskID   string
+	Size     int
+	AvgLen   float64
+	MaxLen   int
+	DataType string
+}
+
+// Table5 returns the explainability test-case statistics.
+func Table5() []Table5Row {
+	tasks := benchsuite.ExplainabilityTasks()
+	ids := []string{"Task1", "Task2", "Task3"}
+	var out []Table5Row
+	for i, t := range tasks {
+		out = append(out, Table5Row{
+			TaskID: ids[i], Size: t.Size(), AvgLen: t.AvgLen(),
+			MaxLen: t.MaxLen(), DataType: t.DataType,
+		})
+	}
+	return out
+}
+
+// Table6 returns the benchmark statistics of Table 6.
+func Table6() []benchsuite.SourceStats { return benchsuite.Table6() }
+
+// WTL is a wins/ties/losses tally.
+type WTL struct {
+	Wins, Ties, Losses int
+}
+
+// Table7 returns the §7.4 user-effort comparison: CLX versus each baseline
+// over the 47 tasks.
+func Table7() (vsFF, vsRR WTL) {
+	for _, r := range SuiteRuns() {
+		tally(&vsFF, r.CLX.Steps(), r.FF.Steps())
+		tally(&vsRR, r.CLX.Steps(), r.RR.Steps())
+	}
+	return vsFF, vsRR
+}
+
+func tally(w *WTL, clx, other int) {
+	switch {
+	case clx < other:
+		w.Wins++
+	case clx == other:
+		w.Ties++
+	default:
+		w.Losses++
+	}
+}
+
+// SpeedupRow is one bar of Figure 15: Steps ratio baseline/CLX per task.
+type SpeedupRow struct {
+	Task string
+	VsFF float64
+	VsRR float64
+}
+
+// Fig15Speedups returns the per-task Step speedups of CLX over both
+// baselines.
+func Fig15Speedups() []SpeedupRow {
+	var out []SpeedupRow
+	for _, r := range SuiteRuns() {
+		clx := float64(r.CLX.Steps())
+		if clx == 0 {
+			clx = 1
+		}
+		out = append(out, SpeedupRow{
+			Task: r.Task.Name,
+			VsFF: float64(r.FF.Steps()) / clx,
+			VsRR: float64(r.RR.Steps()) / clx,
+		})
+	}
+	return out
+}
+
+// StepBreakdown is one task's CLX Step decomposition (Figure 16 /
+// Appendix E).
+type StepBreakdown struct {
+	Task      string
+	Selection int
+	Adjust    int
+	Total     int
+	Perfect   bool
+}
+
+// Fig16Steps returns the per-task CLX Step breakdowns.
+func Fig16Steps() []StepBreakdown {
+	var out []StepBreakdown
+	for _, r := range SuiteRuns() {
+		out = append(out, StepBreakdown{
+			Task:      r.Task.Name,
+			Selection: r.CLX.Selections,
+			Adjust:    r.CLX.Repairs,
+			Total:     r.CLX.Steps(),
+			Perfect:   r.CLX.Perfect(),
+		})
+	}
+	return out
+}
+
+// AppendixEStats are the summary fractions of Appendix E.
+type AppendixEStats struct {
+	// PerfectWithin2Steps: tasks solved perfectly with total Steps <= 2
+	// (paper: ~79%).
+	PerfectWithin2Steps float64
+	// SingleSelection: tasks needing exactly one target selection (paper:
+	// ~79%).
+	SingleSelection float64
+	// ZeroAdjust: tasks with no plan repair (paper: ~50%).
+	ZeroAdjust float64
+	// AtMostOneAdjust: tasks with <= 1 repair (paper: ~85%).
+	AtMostOneAdjust float64
+}
+
+// AppendixE computes the Appendix E user-effort breakdown.
+func AppendixE() AppendixEStats {
+	steps := Fig16Steps()
+	n := float64(len(steps))
+	var s AppendixEStats
+	for _, st := range steps {
+		if st.Perfect && st.Total <= 2 {
+			s.PerfectWithin2Steps++
+		}
+		if st.Selection == 1 {
+			s.SingleSelection++
+		}
+		if st.Adjust == 0 {
+			s.ZeroAdjust++
+		}
+		if st.Adjust <= 1 {
+			s.AtMostOneAdjust++
+		}
+	}
+	s.PerfectWithin2Steps /= n
+	s.SingleSelection /= n
+	s.ZeroAdjust /= n
+	s.AtMostOneAdjust /= n
+	return s
+}
+
+// Panel returns the §7.2 study means over the nine simulated participant
+// cost profiles.
+func Panel() []userstudy.PanelResult {
+	return userstudy.RunVerificationPanel(userstudy.NumParticipants)
+}
+
+// SizeRow is one row of the Steps-versus-size sweep.
+type SizeRow struct {
+	Rows                       int
+	CLXSteps, FFSteps, RRSteps int
+}
+
+// StepsVsSize sweeps the phone-normalization scenario across input sizes
+// (the SyGus track shipped each scenario at four sizes; this is the
+// corresponding robustness check): CLX's user effort in Steps must not
+// grow with the row count — the heart of the paper's scalability claim —
+// while the baselines' effort tracks format count at best.
+func StepsVsSize() []SizeRow {
+	var out []SizeRow
+	for _, n := range []int{10, 30, 100, 300, 1000} {
+		in, want := dataset.Phones(n, 4, 4242)
+		clx := simuser.SimulateCLX(in, want, simuser.DefaultOptions())
+		ff := simuser.SimulateFlashFill(in, want)
+		rr := simuser.SimulateRegexReplace(in, want)
+		out = append(out, SizeRow{
+			Rows: n, CLXSteps: clx.Steps(), FFSteps: ff.Steps(), RRSteps: rr.Steps(),
+		})
+	}
+	return out
+}
+
+// ExpressivityResult is the §7.4 coverage comparison.
+type ExpressivityResult struct {
+	Total, CLX, FF, RR int
+}
+
+// Expressivity counts perfectly solved tasks per system (paper: CLX 42/47,
+// FlashFill 45/47, RegexReplace 46/47).
+func Expressivity() ExpressivityResult {
+	res := ExpressivityResult{Total: len(SuiteRuns())}
+	for _, r := range SuiteRuns() {
+		if r.CLX.Perfect() {
+			res.CLX++
+		}
+		if r.FF.Perfect() {
+			res.FF++
+		}
+		if r.RR.Perfect() {
+			res.RR++
+		}
+	}
+	return res
+}

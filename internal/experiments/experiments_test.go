@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestFig11Series(t *testing.T) {
+	a := Fig11aCompletionTime()
+	b := Fig11bInteractions()
+	v := Fig12VerificationTime()
+	if len(a) != 3 || len(b) != 3 || len(v) != 3 {
+		t.Fatalf("series lengths: %d %d %d, want 3 each", len(a), len(b), len(v))
+	}
+	for i, row := range a {
+		if row.CLX <= 0 || row.FF <= 0 || row.RR <= 0 {
+			t.Errorf("fig11a row %d has non-positive time: %+v", i, row)
+		}
+		if v[i].CLX > row.CLX || v[i].FF > row.FF {
+			t.Errorf("verification exceeds completion in case %s", row.Label)
+		}
+	}
+	if a[0].Label != "10(2)" || a[2].Label != "300(6)" {
+		t.Errorf("labels = %v", []string{a[0].Label, a[1].Label, a[2].Label})
+	}
+}
+
+func TestFig11cTimestamps(t *testing.T) {
+	rr, ff, clx := Fig11cTimestamps()
+	for name, ts := range map[string][]float64{"rr": rr, "ff": ff, "clx": clx} {
+		if len(ts) == 0 {
+			t.Errorf("%s has no interactions", name)
+		}
+		for i := 1; i < len(ts); i++ {
+			if ts[i] <= ts[i-1] {
+				t.Errorf("%s timestamps not increasing: %v", name, ts)
+			}
+		}
+	}
+}
+
+func TestVerificationGrowthHeadline(t *testing.T) {
+	clx, ff, _ := VerificationGrowth()
+	if clx >= ff/2.5 {
+		t.Errorf("growth: clx %.1fx vs ff %.1fx — paper reports 1.3x vs 11.4x", clx, ff)
+	}
+}
+
+func TestTable5(t *testing.T) {
+	rows := Table5()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Size != 10 || rows[1].Size != 10 || rows[2].Size != 100 {
+		t.Errorf("sizes = %d %d %d, want 10 10 100", rows[0].Size, rows[1].Size, rows[2].Size)
+	}
+}
+
+func TestTable7AndFig15Consistent(t *testing.T) {
+	vsFF, vsRR := Table7()
+	if vsFF.Wins+vsFF.Ties+vsFF.Losses != 47 {
+		t.Errorf("vsFF tally = %+v does not sum to 47", vsFF)
+	}
+	if vsRR.Wins+vsRR.Ties+vsRR.Losses != 47 {
+		t.Errorf("vsRR tally = %+v does not sum to 47", vsRR)
+	}
+	// §7.4 shape: CLX often requires less or equal effort than both; vs
+	// RegexReplace it almost always wins.
+	if vsFF.Wins < vsFF.Losses {
+		t.Errorf("vsFF = %+v: wins should be >= losses", vsFF)
+	}
+	if vsRR.Wins < 25 || vsRR.Losses > 8 {
+		t.Errorf("vsRR = %+v: paper reports 33 wins, 2 losses", vsRR)
+	}
+	// Fig 15 ratios agree with the tallies.
+	sp := Fig15Speedups()
+	if len(sp) != 47 {
+		t.Fatalf("speedups = %d", len(sp))
+	}
+	wins := 0
+	for _, s := range sp {
+		if s.VsFF > 1 {
+			wins++
+		}
+	}
+	if wins != vsFF.Wins {
+		t.Errorf("fig15 wins %d != table7 wins %d", wins, vsFF.Wins)
+	}
+}
+
+func TestExpressivityHeadline(t *testing.T) {
+	e := Expressivity()
+	if e.Total != 47 {
+		t.Fatalf("total = %d", e.Total)
+	}
+	// Paper: CLX 42 (~90%), FlashFill 45 (~96%), RegexReplace 46 (~98%).
+	if e.CLX < 40 || e.CLX > 44 {
+		t.Errorf("CLX = %d/47, want ~42", e.CLX)
+	}
+	if e.FF < e.CLX {
+		t.Errorf("FF = %d should be >= CLX = %d", e.FF, e.CLX)
+	}
+	if e.RR < e.FF {
+		t.Errorf("RR = %d should be >= FF = %d", e.RR, e.FF)
+	}
+}
+
+func TestAppendixE(t *testing.T) {
+	s := AppendixE()
+	// Paper: ~79% perfect within two Steps, ~79% single selection, ~50%
+	// zero adjustments, ~85% at most one.
+	if s.PerfectWithin2Steps < 0.5 {
+		t.Errorf("perfect within 2 steps = %.2f, want ~0.79", s.PerfectWithin2Steps)
+	}
+	if s.SingleSelection < 0.6 {
+		t.Errorf("single selection = %.2f, want ~0.79", s.SingleSelection)
+	}
+	if s.ZeroAdjust < 0.3 {
+		t.Errorf("zero adjust = %.2f, want ~0.5", s.ZeroAdjust)
+	}
+	if s.AtMostOneAdjust < s.ZeroAdjust {
+		t.Error("at-most-one must include zero")
+	}
+}
+
+func TestFig16StepsCoverSuite(t *testing.T) {
+	steps := Fig16Steps()
+	if len(steps) != 47 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	for _, st := range steps {
+		if st.Total < st.Selection+st.Adjust {
+			t.Errorf("%s: total %d < selection %d + adjust %d",
+				st.Task, st.Total, st.Selection, st.Adjust)
+		}
+	}
+}
+
+func TestFig13AndFig14(t *testing.T) {
+	quiz := Fig13Comprehension()
+	if len(quiz) != 3 {
+		t.Fatalf("quiz systems = %d", len(quiz))
+	}
+	f14 := Fig14TaskCompletion()
+	if len(f14) != 3 {
+		t.Fatalf("fig14 rows = %d", len(f14))
+	}
+	for _, row := range f14 {
+		if row.CLX <= 0 || row.FF <= 0 || row.RR <= 0 {
+			t.Errorf("fig14 %s has non-positive time", row.Label)
+		}
+	}
+}
+
+// CLX user effort (Steps) is independent of data size: growing the column
+// 100x leaves the Step count unchanged.
+func TestStepsVsSize(t *testing.T) {
+	rows := StepsVsSize()
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	first := rows[0].CLXSteps
+	for _, r := range rows {
+		if r.CLXSteps != first {
+			t.Errorf("CLX steps at %d rows = %d, want constant %d",
+				r.Rows, r.CLXSteps, first)
+		}
+		if !perfectRow(r) {
+			t.Errorf("row %d: some system imperfect: %+v", r.Rows, r)
+		}
+	}
+}
+
+func perfectRow(r SizeRow) bool {
+	// Steps bounded by a small constant per system implies no punishment
+	// term (failed rows would add one Step each).
+	return r.CLXSteps <= 4 && r.FFSteps <= 12 && r.RRSteps <= 12
+}

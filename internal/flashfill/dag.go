@@ -1,0 +1,304 @@
+// Trace expression DAGs for the FlashFill baseline: construction from a
+// single input-output example, intersection across examples (version-space
+// algebra), and extraction of a best concrete program.
+package flashfill
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// expr is an atomic string expression on a DAG edge.
+type expr interface{ isExpr() }
+
+// constExpr produces a constant string.
+type constExpr struct{ s string }
+
+func (constExpr) isExpr() {}
+
+// substrExpr produces v[p1:p2] of the input; P1 and P2 are the sets of
+// position expressions consistent with all examples seen so far.
+type substrExpr struct {
+	p1, p2 posSet
+}
+
+func (substrExpr) isExpr() {}
+
+// edge joins DAG nodes From -> To with alternative expressions.
+type edge struct {
+	from, to int
+	exprs    []expr
+}
+
+// dag is a version space of concatenation programs: every path from node 0
+// to node n spells the output, each edge labeled with the expressions that
+// can produce that output fragment.
+type dag struct {
+	n     int // nodes are 0..n
+	edges map[[2]int]*edge
+}
+
+func newDag(n int) *dag { return &dag{n: n, edges: make(map[[2]int]*edge)} }
+
+func (d *dag) add(from, to int, e expr) {
+	key := [2]int{from, to}
+	ed := d.edges[key]
+	if ed == nil {
+		ed = &edge{from: from, to: to}
+		d.edges[key] = ed
+	}
+	ed.exprs = append(ed.exprs, e)
+}
+
+// traceDag builds the single-example DAG for transforming in into out.
+func traceDag(in, out string) *dag {
+	b := analyze(in)
+	d := newDag(len(out))
+	for i := 0; i <= len(out); i++ {
+		for j := i + 1; j <= len(out); j++ {
+			sub := out[i:j]
+			d.add(i, j, constExpr{s: sub})
+			// Every occurrence of sub in the input yields a substring
+			// expression with the position sets of its endpoints.
+			for at := 0; ; {
+				k := strings.Index(in[at:], sub)
+				if k < 0 {
+					break
+				}
+				l := at + k
+				d.add(i, j, substrExpr{p1: b.positions(l), p2: b.positions(l + len(sub))})
+				at = l + 1
+			}
+		}
+	}
+	return d
+}
+
+// intersect computes the product DAG whose programs are exactly those valid
+// for both operands. It returns nil when the intersection admits no complete
+// program.
+func (d *dag) intersect(o *dag) *dag {
+	// Product nodes (a, b) relabeled to a*(o.n+1)+b; prune afterwards.
+	id := func(a, b int) int { return a*(o.n+1) + b }
+	prod := newDag(id(d.n, o.n))
+	for _, e1 := range d.sorted() {
+		for _, e2 := range o.sorted() {
+			var merged []expr
+			for _, x1 := range e1.exprs {
+				for _, x2 := range e2.exprs {
+					if m, ok := meet(x1, x2); ok {
+						merged = append(merged, m)
+					}
+				}
+			}
+			if len(merged) == 0 {
+				continue
+			}
+			key := [2]int{id(e1.from, e2.from), id(e1.to, e2.to)}
+			ed := prod.edges[key]
+			if ed == nil {
+				ed = &edge{from: key[0], to: key[1]}
+				prod.edges[key] = ed
+			}
+			ed.exprs = append(ed.exprs, merged...)
+		}
+	}
+	if !prod.prune(0, id(d.n, o.n)) {
+		return nil
+	}
+	return prod
+}
+
+// meet intersects two atomic expressions.
+func meet(a, b expr) (expr, bool) {
+	switch a := a.(type) {
+	case constExpr:
+		if b, ok := b.(constExpr); ok && a.s == b.s {
+			return a, true
+		}
+	case substrExpr:
+		if b, ok := b.(substrExpr); ok {
+			p1 := a.p1.intersect(b.p1)
+			if len(p1) == 0 {
+				return nil, false
+			}
+			p2 := a.p2.intersect(b.p2)
+			if len(p2) == 0 {
+				return nil, false
+			}
+			return substrExpr{p1: p1, p2: p2}, true
+		}
+	}
+	return nil, false
+}
+
+// prune relabels the DAG to the subgraph reachable from start and reaching
+// end, with start -> 0 and end -> n. It reports whether any path survives.
+func (d *dag) prune(start, end int) bool {
+	fwd := map[int]bool{start: true}
+	changed := true
+	for changed {
+		changed = false
+		for _, e := range d.edges {
+			if fwd[e.from] && !fwd[e.to] {
+				fwd[e.to] = true
+				changed = true
+			}
+		}
+	}
+	if !fwd[end] {
+		return false
+	}
+	bwd := map[int]bool{end: true}
+	changed = true
+	for changed {
+		changed = false
+		for _, e := range d.edges {
+			if bwd[e.to] && !bwd[e.from] {
+				bwd[e.from] = true
+				changed = true
+			}
+		}
+	}
+	// Relabel surviving nodes compactly, keeping start=0 and end last.
+	var nodes []int
+	for n := range fwd {
+		if bwd[n] {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Ints(nodes)
+	label := make(map[int]int, len(nodes))
+	for i, n := range nodes {
+		label[n] = i
+	}
+	// start is the smallest surviving original node only if start==0 and
+	// relabeling preserves topological order of the original DAG, which it
+	// does because original node ids increase along edges.
+	edges := d.edges
+	d.edges = make(map[[2]int]*edge)
+	d.n = len(nodes) - 1
+	for _, e := range edges {
+		lf, okF := label[e.from]
+		lt, okT := label[e.to]
+		if !okF || !okT {
+			continue
+		}
+		e.from, e.to = lf, lt
+		d.edges[[2]int{lf, lt}] = e
+	}
+	return true
+}
+
+// sorted returns edges in deterministic order.
+func (d *dag) sorted() []*edge {
+	out := make([]*edge, 0, len(d.edges))
+	for _, e := range d.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].from != out[b].from {
+			return out[a].from < out[b].from
+		}
+		return out[a].to < out[b].to
+	})
+	return out
+}
+
+// atom is one step of an extracted concrete program.
+type atom struct {
+	isConst bool
+	s       string
+	p1, p2  posExpr
+}
+
+func (a atom) String() string {
+	if a.isConst {
+		return fmt.Sprintf("ConstStr(%q)", a.s)
+	}
+	return fmt.Sprintf("SubStr(%s, %s)", a.p1, a.p2)
+}
+
+// exprScore ranks an edge's best expression (lower is better): substring
+// extraction generalizes better than constants.
+func exprScore(x expr) (float64, atom, bool) {
+	switch x := x.(type) {
+	case constExpr:
+		// Constants are charged two units per character so extraction from
+		// the input is preferred when available, even when splitting a
+		// single constant edge into const+substr+const segments (Gulwani's
+		// ranking prefers programs that use the input).
+		return 2 + 2*float64(len(x.s)), atom{isConst: true, s: x.s}, true
+	case substrExpr:
+		p1, ok1 := bestPos(x.p1)
+		p2, ok2 := bestPos(x.p2)
+		if !ok1 || !ok2 {
+			return 0, atom{}, false
+		}
+		return p1.score() + p2.score(), atom{p1: p1, p2: p2}, true
+	}
+	return 0, atom{}, false
+}
+
+// extract picks the best concrete program from the DAG: the minimum-cost
+// path where each edge costs 1 plus its best expression's score, so fewer,
+// more general steps win.
+func (d *dag) extract() ([]atom, bool) {
+	const inf = 1e18
+	cost := make([]float64, d.n+1)
+	from := make([]int, d.n+1)
+	via := make([]atom, d.n+1)
+	for i := 1; i <= d.n; i++ {
+		cost[i] = inf
+	}
+	for _, e := range d.sorted() { // ascending from => topological
+		if cost[e.from] >= inf {
+			continue
+		}
+		bestScore := inf
+		var bestAtom atom
+		for _, x := range e.exprs {
+			if s, a, ok := exprScore(x); ok && s < bestScore {
+				bestScore, bestAtom = s, a
+			}
+		}
+		if bestScore >= inf {
+			continue
+		}
+		c := cost[e.from] + 1 + bestScore
+		if c < cost[e.to] {
+			cost[e.to], from[e.to], via[e.to] = c, e.from, bestAtom
+		}
+	}
+	if cost[d.n] >= inf {
+		return nil, false
+	}
+	var rev []atom
+	for at := d.n; at != 0; at = from[at] {
+		rev = append(rev, via[at])
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// run evaluates a concrete program on a new input.
+func run(prog []atom, in string) (string, error) {
+	b := analyze(in)
+	var out strings.Builder
+	for _, a := range prog {
+		if a.isConst {
+			out.WriteString(a.s)
+			continue
+		}
+		l, ok1 := b.eval(a.p1)
+		r, ok2 := b.eval(a.p2)
+		if !ok1 || !ok2 || l > r {
+			return "", fmt.Errorf("flashfill: %s failed on %q", a, in)
+		}
+		out.WriteString(in[l:r])
+	}
+	return out.String(), nil
+}

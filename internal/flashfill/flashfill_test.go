@@ -1,0 +1,250 @@
+package flashfill
+
+import (
+	"strings"
+	"testing"
+)
+
+func learn(t *testing.T, examples ...Example) *Program {
+	t.Helper()
+	p, err := Learn(examples)
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	return p
+}
+
+func apply(t *testing.T, p *Program, in string) string {
+	t.Helper()
+	out, err := p.Apply(in)
+	if err != nil {
+		t.Fatalf("Apply(%q): %v", in, err)
+	}
+	return out
+}
+
+// One example generalizes to same-format inputs (the FlashFill sales pitch).
+func TestSingleExampleGeneralizes(t *testing.T) {
+	p := learn(t, Example{"734-422-8073", "(734) 422-8073"})
+	if got := apply(t, p, "313-263-1192"); got != "(313) 263-1192" {
+		t.Errorf("Apply = %q", got)
+	}
+	if got := apply(t, p, "999-111-0000"); got != "(999) 111-0000" {
+		t.Errorf("Apply = %q", got)
+	}
+}
+
+func TestSubstringExtraction(t *testing.T) {
+	p := learn(t, Example{"Bob Smith", "Smith"})
+	if got := apply(t, p, "Alice Jones"); got != "Jones" {
+		t.Errorf("Apply = %q", got)
+	}
+	if got := apply(t, p, "X Y"); got != "Y" {
+		t.Errorf("Apply = %q", got)
+	}
+}
+
+// Two examples disambiguate: extract the digits, not a fixed offset.
+func TestTwoExamplesRefine(t *testing.T) {
+	p := learn(t,
+		Example{"order 123 shipped", "123"},
+		Example{"order 77 shipped", "77"},
+	)
+	if got := apply(t, p, "order 4589 shipped"); got != "4589" {
+		t.Errorf("Apply = %q", got)
+	}
+}
+
+// Truly incompatible examples open branches (conditional program): the
+// constant prefixes differ and cannot come from the inputs.
+func TestBranching(t *testing.T) {
+	p := learn(t,
+		Example{"apple", "FRUIT: apple"},
+		Example{"123", "NUM: 123"},
+	)
+	if p.Branches() != 2 {
+		t.Fatalf("branches = %d, want 2", p.Branches())
+	}
+	if got := apply(t, p, "pear"); got != "FRUIT: pear" {
+		t.Errorf("letters input: %q", got)
+	}
+	if got := apply(t, p, "9"); got != "NUM: 9" {
+		t.Errorf("digits input: %q", got)
+	}
+}
+
+// Different phone formats may be unified by the version space (e.g. via
+// from-the-right absolute positions); whatever the partition, both training
+// formats must keep transforming correctly.
+func TestMixedPhoneFormats(t *testing.T) {
+	p := learn(t,
+		Example{"734-422-8073", "(734) 422-8073"},
+		Example{"(734)586-7252", "(734) 586-7252"},
+	)
+	if got := apply(t, p, "313-263-1192"); got != "(313) 263-1192" {
+		t.Errorf("dash input: %q", got)
+	}
+	if got := apply(t, p, "(917)555-0199"); got != "(917) 555-0199" {
+		t.Errorf("paren input: %q", got)
+	}
+}
+
+// Same-format examples intersect into one branch.
+func TestCompatibleExamplesShareBranch(t *testing.T) {
+	p := learn(t,
+		Example{"734-422-8073", "(734) 422-8073"},
+		Example{"313-263-1192", "(313) 263-1192"},
+		Example{"999-111-0000", "(999) 111-0000"},
+	)
+	if p.Branches() != 1 {
+		t.Errorf("branches = %d, want 1", p.Branches())
+	}
+}
+
+// The paper's motivating failure (Example 1): a program learned from
+// ten-digit phones behaves unexpectedly on "+1 724-285-5210"-style input
+// instead of rejecting it. We assert it produces *something incorrect or
+// fails* — i.e. it does not magically normalize the new format.
+func TestUnexpectedBehaviourOnNovelFormat(t *testing.T) {
+	p := learn(t,
+		Example{"734-422-8073", "(734) 422-8073"},
+		Example{"313.263.1192", "(313) 263-1192"},
+	)
+	out, err := p.Apply("+1 724-285-5210")
+	if err == nil && out == "(724) 285-5210" {
+		t.Skip("baseline happened to normalize novel format; acceptable but unexpected")
+	}
+	// Either an error or a wrong output is the expected unreliable
+	// behaviour.
+	t.Logf("novel-format result: %q, err=%v (unreliable as expected)", out, err)
+}
+
+func TestConstantOnly(t *testing.T) {
+	p := learn(t, Example{"whatever", "N/A"}, Example{"else", "N/A"})
+	if got := apply(t, p, "anything at all"); got != "N/A" {
+		t.Errorf("Apply = %q, want N/A", got)
+	}
+}
+
+func TestMixedConstAndSubstr(t *testing.T) {
+	p := learn(t,
+		Example{"CPT-00350", "[CPT-00350]"},
+		Example{"CPT-00340", "[CPT-00340]"},
+	)
+	if got := apply(t, p, "CPT-11536"); got != "[CPT-11536]" {
+		t.Errorf("Apply = %q", got)
+	}
+}
+
+// FlashFill paper Example 9 style: name reformatting within one format.
+func TestNameReformat(t *testing.T) {
+	p := learn(t,
+		Example{"Eran Yahav", "Yahav, E."},
+		Example{"Bill Gates", "Gates, B."},
+	)
+	if got := apply(t, p, "Sumit Gulwani"); got != "Gulwani, S." {
+		t.Errorf("Apply = %q", got)
+	}
+}
+
+func TestLearnErrors(t *testing.T) {
+	if _, err := Learn(nil); err != ErrNoExamples {
+		t.Errorf("Learn(nil) err = %v, want ErrNoExamples", err)
+	}
+	var l Learner
+	if _, err := l.Program(); err != ErrNoExamples {
+		t.Errorf("empty learner Program() err = %v", err)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := learn(t, Example{"12", "x12"})
+	s := p.String()
+	if !strings.Contains(s, "case 1") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestEmptyInputExample(t *testing.T) {
+	p := learn(t, Example{"", "empty"})
+	if got := apply(t, p, ""); got != "empty" {
+		t.Errorf("Apply = %q", got)
+	}
+}
+
+func TestApplyNoBranch(t *testing.T) {
+	p := learn(t, Example{"abc def", "def"})
+	// An input where even fallback evaluation fails: no space boundary.
+	if _, err := p.Apply("x"); err == nil {
+		t.Log("fallback produced output; acceptable")
+	}
+}
+
+// Determinism: learning twice from the same examples produces a program
+// with identical behaviour on probes.
+func TestDeterminism(t *testing.T) {
+	examples := []Example{
+		{"734-422-8073", "(734) 422-8073"},
+		{"(734)586-7252", "(734) 586-7252"},
+		{"313.263.1192", "(313) 263-1192"},
+	}
+	p1 := learn(t, examples...)
+	p2 := learn(t, examples...)
+	probes := []string{"111-222-3333", "(999)888-7777", "123.456.7890"}
+	for _, probe := range probes {
+		o1, e1 := p1.Apply(probe)
+		o2, e2 := p2.Apply(probe)
+		if o1 != o2 || (e1 == nil) != (e2 == nil) {
+			t.Errorf("probe %q: %q/%v vs %q/%v", probe, o1, e1, o2, e2)
+		}
+	}
+}
+
+// Position evaluation internals.
+func TestBoundariesEval(t *testing.T) {
+	b := analyze("ab 12")
+	// CPos round trip.
+	for k := 0; k <= 5; k++ {
+		for p := range b.positions(k) {
+			got, ok := b.eval(p)
+			if !ok || got != k {
+				t.Errorf("eval(%s) = %d,%v, want %d", p, got, ok, k)
+			}
+		}
+	}
+	// Out-of-range CPos fails.
+	if _, ok := b.eval(posExpr{Kind: cposLeft, K: 99}); ok {
+		t.Error("CPos(99) should fail on short string")
+	}
+	// Regex position absent from the string fails.
+	if _, ok := b.eval(posExpr{Kind: posRegex, Left: tokPunct | '@', Right: tokNone, C: 1}); ok {
+		t.Error("position after '@' should fail when input has no '@'")
+	}
+}
+
+func TestTraceDagHasSubstrAndConst(t *testing.T) {
+	d := traceDag("ab", "b!")
+	e := d.edges[[2]int{0, 1}]
+	if e == nil {
+		t.Fatal("missing edge (0,1)")
+	}
+	var hasConst, hasSub bool
+	for _, x := range e.exprs {
+		switch x.(type) {
+		case constExpr:
+			hasConst = true
+		case substrExpr:
+			hasSub = true
+		}
+	}
+	if !hasConst || !hasSub {
+		t.Errorf("edge (0,1): const=%v substr=%v, want both", hasConst, hasSub)
+	}
+	// '!' does not occur in input: only ConstStr on edge (1,2).
+	e = d.edges[[2]int{1, 2}]
+	for _, x := range e.exprs {
+		if _, ok := x.(substrExpr); ok {
+			t.Error("edge (1,2) should have no substring source")
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Position expressions and token specs for the FlashFill baseline.
+//
+// A position expression identifies a boundary position in an input string
+// either absolutely (CPos from the left or right) or by the token context
+// around it (Pos(r1, r2, c): the c-th position where a token of kind r1 ends
+// and a token of kind r2 begins). Token kinds are maximal character-class
+// runs plus per-character punctuation runs, mirroring Gulwani (2011).
+package flashfill
+
+import (
+	"fmt"
+	"sort"
+)
+
+// tokSpec encodes a token kind for position expressions: tokNone, one of the
+// class tokens, or a punctuation character token (tokPunct | char).
+type tokSpec uint16
+
+const (
+	tokNone tokSpec = iota
+	tokDigit
+	tokLower
+	tokUpper
+	tokAlpha
+	tokWord // [a-zA-Z0-9]
+	tokSpace
+	tokPunct tokSpec = 1 << 8 // tokPunct | rune for single punctuation chars
+)
+
+func (t tokSpec) String() string {
+	if t&tokPunct != 0 {
+		return fmt.Sprintf("%q", rune(t&0xff))
+	}
+	switch t {
+	case tokNone:
+		return "ε"
+	case tokDigit:
+		return "Digit"
+	case tokLower:
+		return "Lower"
+	case tokUpper:
+		return "Upper"
+	case tokAlpha:
+		return "Alpha"
+	case tokWord:
+		return "Word"
+	case tokSpace:
+		return "Space"
+	}
+	return "?"
+}
+
+func classOf(b byte) []tokSpec {
+	switch {
+	case b >= '0' && b <= '9':
+		return []tokSpec{tokDigit, tokWord}
+	case b >= 'a' && b <= 'z':
+		return []tokSpec{tokLower, tokAlpha, tokWord}
+	case b >= 'A' && b <= 'Z':
+		return []tokSpec{tokUpper, tokAlpha, tokWord}
+	case b == ' ' || b == '\t':
+		return []tokSpec{tokSpace}
+	default:
+		return []tokSpec{tokPunct | tokSpec(b)}
+	}
+}
+
+func inSpec(t tokSpec, b byte) bool {
+	for _, s := range classOf(b) {
+		if s == t {
+			return true
+		}
+	}
+	return false
+}
+
+// posKind discriminates position expressions.
+type posKind uint8
+
+const (
+	cposLeft  posKind = iota // K characters from the left (0..len)
+	cposRight                // K characters from the right (0..len)
+	posRegex                 // Pos(Left, Right, C)
+)
+
+// posExpr is a single position expression. It is a comparable value so
+// position sets can be intersected as map keys.
+type posExpr struct {
+	Kind  posKind
+	K     int // cpos offset
+	Left  tokSpec
+	Right tokSpec
+	C     int // occurrence index; >0 from start, <0 from end
+}
+
+func (p posExpr) String() string {
+	switch p.Kind {
+	case cposLeft:
+		return fmt.Sprintf("CPos(%d)", p.K)
+	case cposRight:
+		return fmt.Sprintf("CPos(-%d)", p.K)
+	default:
+		return fmt.Sprintf("Pos(%s,%s,%d)", p.Left, p.Right, p.C)
+	}
+}
+
+// posSet is a set of position expressions that all denote the same position
+// in the example input.
+type posSet map[posExpr]struct{}
+
+func (s posSet) intersect(t posSet) posSet {
+	if len(t) < len(s) {
+		s, t = t, s
+	}
+	out := make(posSet)
+	for p := range s {
+		if _, ok := t[p]; ok {
+			out[p] = struct{}{}
+		}
+	}
+	return out
+}
+
+// boundaries precomputes, for a string v, every (left, right) token-kind
+// pair at every position, used both to generate position expressions during
+// learning and to evaluate them on new inputs.
+type boundaries struct {
+	v string
+	// at[k] lists the (left, right) kinds present at position k.
+	at [][][2]tokSpec
+	// occ[(l, r)] lists the positions where that pair occurs, in order.
+	occ map[[2]tokSpec][]int
+}
+
+func analyze(v string) *boundaries {
+	b := &boundaries{v: v, at: make([][][2]tokSpec, len(v)+1), occ: make(map[[2]tokSpec][]int)}
+	ends := make(map[int][]tokSpec)   // token kinds with a maximal run ending at k
+	starts := make(map[int][]tokSpec) // token kinds with a maximal run starting at k
+	for _, spec := range enumSpecs(v) {
+		for k := 0; k <= len(v); k++ {
+			endsHere := k > 0 && inSpec(spec, v[k-1]) && (k == len(v) || !inSpec(spec, v[k]))
+			startsHere := k < len(v) && inSpec(spec, v[k]) && (k == 0 || !inSpec(spec, v[k-1]))
+			if endsHere {
+				ends[k] = append(ends[k], spec)
+			}
+			if startsHere {
+				starts[k] = append(starts[k], spec)
+			}
+		}
+	}
+	for k := 0; k <= len(v); k++ {
+		var pairs [][2]tokSpec
+		le := append([]tokSpec{tokNone}, ends[k]...)
+		rs := append([]tokSpec{tokNone}, starts[k]...)
+		for _, l := range le {
+			for _, r := range rs {
+				if l == tokNone && r == tokNone {
+					continue
+				}
+				pairs = append(pairs, [2]tokSpec{l, r})
+				key := [2]tokSpec{l, r}
+				b.occ[key] = append(b.occ[key], k)
+			}
+		}
+		b.at[k] = pairs
+	}
+	return b
+}
+
+// enumSpecs lists the token kinds occurring in v, deterministically.
+func enumSpecs(v string) []tokSpec {
+	set := make(map[tokSpec]bool)
+	for i := 0; i < len(v); i++ {
+		for _, s := range classOf(v[i]) {
+			set[s] = true
+		}
+	}
+	specs := make([]tokSpec, 0, len(set))
+	for s := range set {
+		specs = append(specs, s)
+	}
+	sort.Slice(specs, func(a, b int) bool { return specs[a] < specs[b] })
+	return specs
+}
+
+// positions generates every position expression denoting position k of the
+// analyzed string.
+func (b *boundaries) positions(k int) posSet {
+	out := make(posSet)
+	out[posExpr{Kind: cposLeft, K: k}] = struct{}{}
+	out[posExpr{Kind: cposRight, K: len(b.v) - k}] = struct{}{}
+	for _, pair := range b.at[k] {
+		occ := b.occ[pair]
+		idx := sort.SearchInts(occ, k)
+		out[posExpr{Kind: posRegex, Left: pair[0], Right: pair[1], C: idx + 1}] = struct{}{}
+		out[posExpr{Kind: posRegex, Left: pair[0], Right: pair[1], C: idx - len(occ)}] = struct{}{}
+	}
+	return out
+}
+
+// eval resolves a position expression against the analyzed string, returning
+// the position and whether it exists.
+func (b *boundaries) eval(p posExpr) (int, bool) {
+	switch p.Kind {
+	case cposLeft:
+		if p.K > len(b.v) {
+			return 0, false
+		}
+		return p.K, true
+	case cposRight:
+		if p.K > len(b.v) {
+			return 0, false
+		}
+		return len(b.v) - p.K, true
+	default:
+		occ := b.occ[[2]tokSpec{p.Left, p.Right}]
+		i := p.C
+		if i < 0 {
+			i += len(occ)
+		} else {
+			i--
+		}
+		if i < 0 || i >= len(occ) {
+			return 0, false
+		}
+		return occ[i], true
+	}
+}
+
+// score ranks position expressions for extraction: token-relative positions
+// generalize better than absolute offsets, and first/last occurrences better
+// than middle ones.
+func (p posExpr) score() float64 {
+	switch p.Kind {
+	case posRegex:
+		c := p.C
+		if c < 0 {
+			c = -c
+		}
+		s := float64(c) * 0.01
+		if p.Left == tokNone || p.Right == tokNone {
+			s += 0.005
+		}
+		return s
+	default:
+		return 1 + float64(p.K)*0.001
+	}
+}
+
+// bestPos picks the highest-ranked expression of a set, deterministically.
+func bestPos(s posSet) (posExpr, bool) {
+	var best posExpr
+	found := false
+	for p := range s {
+		if !found || less(p, best) {
+			best, found = p, true
+		}
+	}
+	return best, found
+}
+
+func less(a, b posExpr) bool {
+	sa, sb := a.score(), b.score()
+	if sa != sb {
+		return sa < sb
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	// Prefer general token kinds: a Word- or Alpha-anchored position keeps
+	// working on inputs where a narrower class (e.g. Lower) is absent.
+	if ga, gb := genRank(a.Left)+genRank(a.Right), genRank(b.Left)+genRank(b.Right); ga != gb {
+		return ga < gb
+	}
+	if a.Left != b.Left {
+		return a.Left < b.Left
+	}
+	if a.Right != b.Right {
+		return a.Right < b.Right
+	}
+	if a.C != b.C {
+		return a.C < b.C
+	}
+	return a.K < b.K
+}
+
+// genRank orders token kinds by generality (lower = more general).
+func genRank(t tokSpec) int {
+	switch t {
+	case tokWord:
+		return 0
+	case tokAlpha:
+		return 1
+	case tokDigit:
+		return 2
+	case tokLower, tokUpper:
+		return 3
+	case tokSpace:
+		return 4
+	case tokNone:
+		return 5
+	default: // punctuation
+		return 6
+	}
+}

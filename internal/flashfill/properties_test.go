@@ -1,0 +1,149 @@
+package flashfill
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: a learned program reproduces every training example exactly.
+func TestLearnedProgramReproducesExamples(t *testing.T) {
+	gen := func(v []reflect.Value, r *rand.Rand) {
+		n := 1 + r.Intn(4)
+		exs := make([]Example, n)
+		for i := range exs {
+			in := randRow(r)
+			// Output built from input pieces plus constants, so it is
+			// always expressible.
+			parts := strings.FieldsFunc(in, func(c rune) bool { return c == ' ' || c == '-' })
+			out := "X:"
+			if len(parts) > 0 {
+				out += parts[r.Intn(len(parts))]
+			}
+			exs[i] = Example{In: in, Out: out}
+		}
+		v[0] = reflect.ValueOf(exs)
+	}
+	f := func(exs []Example) bool {
+		p, err := Learn(exs)
+		if err != nil {
+			return false
+		}
+		for _, ex := range exs {
+			out, err := p.Apply(ex.In)
+			if err != nil || out != ex.Out {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Values: gen}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randRow(r *rand.Rand) string {
+	words := []string{"alpha", "Beta", "GAMMA", "12", "9042", "x7"}
+	seps := []string{" ", "-", " ", "."}
+	n := 1 + r.Intn(3)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(seps[r.Intn(len(seps))])
+		}
+		b.WriteString(words[r.Intn(len(words))])
+	}
+	return b.String()
+}
+
+// Property: DAG intersection is sound — a program extracted from the
+// intersection of two example DAGs is consistent with both examples.
+func TestIntersectionSound(t *testing.T) {
+	pairs := [][2]Example{
+		{{"734-422-8073", "(734) 422-8073"}, {"313-263-1192", "(313) 263-1192"}},
+		{{"Bob Smith", "Smith"}, {"Ann Lee", "Lee"}},
+		{{"a 1", "1:a"}, {"zz 42", "42:zz"}},
+		{{"CPT-00350", "[CPT-00350]"}, {"CPT-00340", "[CPT-00340]"}},
+	}
+	for _, pair := range pairs {
+		d1 := traceDag(pair[0].In, pair[0].Out)
+		d2 := traceDag(pair[1].In, pair[1].Out)
+		merged := d1.intersect(d2)
+		if merged == nil {
+			t.Errorf("intersection of %v empty", pair)
+			continue
+		}
+		prog, ok := merged.extract()
+		if !ok {
+			t.Errorf("no program in intersection of %v", pair)
+			continue
+		}
+		for _, ex := range pair {
+			out, err := run(prog, ex.In)
+			if err != nil || out != ex.Out {
+				t.Errorf("intersected program on %q = %q, %v; want %q",
+					ex.In, out, err, ex.Out)
+			}
+		}
+	}
+}
+
+// Property: position expressions generated for a string always evaluate
+// back to the position they were generated for, on that same string.
+func TestPositionsRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 40 {
+			s = s[:40]
+		}
+		b := analyze(s)
+		for k := 0; k <= len(s); k++ {
+			for p := range b.positions(k) {
+				got, ok := b.eval(p)
+				if !ok || got != k {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	gen := func(v []reflect.Value, r *rand.Rand) {
+		v[0] = reflect.ValueOf(randRow(r))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Values: gen}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an intersected version space never grows — merging a third
+// compatible example keeps the program consistent with all three.
+func TestThreeWayIntersection(t *testing.T) {
+	exs := []Example{
+		{"734-422-8073", "734"},
+		{"313-263-1192", "313"},
+		{"999-111-0000", "999"},
+	}
+	var l Learner
+	for _, ex := range exs {
+		if err := l.Add(ex); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := l.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Branches() != 1 {
+		t.Errorf("branches = %d, want 1 (all compatible)", p.Branches())
+	}
+	for _, ex := range exs {
+		out, err := p.Apply(ex.In)
+		if err != nil || out != ex.Out {
+			t.Errorf("Apply(%q) = %q, %v", ex.In, out, err)
+		}
+	}
+	if out, err := p.Apply("123-456-7890"); err != nil || out != "123" {
+		t.Errorf("generalization: %q, %v", out, err)
+	}
+}

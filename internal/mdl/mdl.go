@@ -1,0 +1,258 @@
+// Package mdl implements the Minimum Description Length ranking of atomic
+// transformation plans (paper §6.3, Eq. 3–6). The plan with the smallest
+// description length is presented as the default; the k next-best plans are
+// kept as repair alternatives (§6.4).
+package mdl
+
+import (
+	"math"
+	"sort"
+
+	"clx/internal/align"
+	"clx/internal/pattern"
+	"clx/internal/unifi"
+)
+
+// PrintableChars is c in Eq. 5: the size of the printable character set used
+// to encode ConstStr parameters.
+const PrintableChars = 95
+
+// OpCost returns log L(f) of Eq. 5 for a single operator: 2·log|Pcand| for
+// an Extract and |s̃|·log c for a ConstStr. Logarithms are base 2 (bits).
+func OpCost(op unifi.Op, sourceLen int) float64 {
+	switch op := op.(type) {
+	case unifi.Extract:
+		if sourceLen < 2 {
+			sourceLen = 2 // log 1 = 0 would make all extracts free
+		}
+		return 2 * math.Log2(float64(sourceLen))
+	case unifi.ConstStr:
+		return float64(len(op.S)) * math.Log2(PrintableChars)
+	}
+	return math.Inf(1)
+}
+
+// PlanDL returns L(E, T) = L(E) + L(T|E) of Eq. 3: the model length
+// |E|·log m (m = number of distinct operator types used by the plan) plus
+// the sum of operator parameter costs.
+func PlanDL(p unifi.Plan, sourceLen int) float64 {
+	var hasExtract, hasConst bool
+	data := 0.0
+	for _, op := range p.Ops {
+		switch op.(type) {
+		case unifi.Extract:
+			hasExtract = true
+		case unifi.ConstStr:
+			hasConst = true
+		}
+		data += OpCost(op, sourceLen)
+	}
+	m := 0
+	if hasExtract {
+		m++
+	}
+	if hasConst {
+		m++
+	}
+	if m == 0 {
+		return 0
+	}
+	model := float64(len(p.Ops)) * math.Log2(float64(m))
+	return model + data
+}
+
+// Ranked is a plan with its description length and ranking metadata.
+type Ranked struct {
+	Plan unifi.Plan
+	DL   float64
+	// Monotone records whether the plan's extracts read the source
+	// strictly left to right; monotone plans rank first (see TopK).
+	Monotone bool
+	// NoReuse records whether no source token is extracted twice; among
+	// non-monotone plans, reorderings rank above token-reusing plans.
+	NoReuse bool
+	// LitExtracts counts multi-character literal source tokens the plan
+	// copies into the target; plans copying less boilerplate rank higher.
+	LitExtracts int
+}
+
+// TopK enumerates complete transformation plans of the alignment DAG
+// against the source pattern and returns up to k of them ordered by the
+// composite ranking documented on Ranked. Ties are broken by preferring
+// plans with fewer operators, then plans whose extracts read the source
+// left to right at earlier positions — the "good guess" order noted in
+// §6.4.
+//
+// Enumeration uses dynamic programming over the DAG with an additive
+// per-operator bound (each op charged log 2 + OpCost), then reranks the
+// candidate pool with the exact non-additive formula of Eq. 3. The pool is
+// overprovisioned (4k+8 suffixes per node) so the exact top k is recovered
+// in all practical cases.
+func TopK(d *align.DAG, src pattern.Pattern, k int) []Ranked {
+	sourceLen := src.Len()
+	if k <= 0 {
+		return nil
+	}
+	pool := k*4 + 8
+	// suffix[i] holds the best partial plans from node i to node N.
+	type partial struct {
+		ops  []unifi.Op
+		cost float64
+	}
+	suffix := make([][]partial, d.N+1)
+	suffix[d.N] = []partial{{}}
+	outEdges := make(map[int][]align.Edge)
+	for _, e := range d.Edges() {
+		outEdges[e.From] = append(outEdges[e.From], e)
+	}
+	for i := d.N - 1; i >= 0; i-- {
+		var cands []partial
+		for _, e := range outEdges[i] {
+			for _, op := range d.Ops[e] {
+				c := 1 + OpCost(op, sourceLen) // log2(2) = 1 per op bound
+				for _, tail := range suffix[e.To] {
+					ops := make([]unifi.Op, 0, 1+len(tail.ops))
+					ops = append(ops, op)
+					ops = append(ops, tail.ops...)
+					cands = append(cands, partial{ops, c + tail.cost})
+				}
+			}
+		}
+		sort.SliceStable(cands, func(a, b int) bool {
+			if cands[a].cost != cands[b].cost {
+				return cands[a].cost < cands[b].cost
+			}
+			return lessOps(cands[a].ops, cands[b].ops)
+		})
+		if len(cands) > pool {
+			cands = cands[:pool]
+		}
+		suffix[i] = cands
+	}
+	out := make([]Ranked, 0, len(suffix[0]))
+	for _, p := range suffix[0] {
+		plan := unifi.Plan{Ops: p.ops}
+		out = append(out, Ranked{
+			Plan:        plan,
+			DL:          PlanDL(plan, sourceLen),
+			Monotone:    Monotone(plan),
+			NoReuse:     noReuse(plan),
+			LitExtracts: litExtracts(plan, src),
+		})
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		// Monotone plans — extracts reading the source strictly left to
+		// right — rank above non-monotone ones regardless of DL. Pure
+		// Eq-3 MDL can otherwise prefer degenerate plans that reuse one
+		// source span repeatedly (a single-op-type plan pays no model
+		// bits); reading order is the "good guess" §6.4 relies on, and
+		// the reordered alternatives remain available for repair. Among
+		// non-monotone plans, those that never extract the same source
+		// token twice (field reorderings like "Last, F.") rank above
+		// token-reusing ones. Plans extracting fewer constant (literal)
+		// source tokens rank higher: the variable parts of a format carry
+		// its data, the frozen boilerplate ('University', 'of') rarely
+		// does — and a plan extracting only literals always has an
+		// equivalent ConstStr form, so this costs nothing elsewhere.
+		if out[a].Monotone != out[b].Monotone {
+			return out[a].Monotone
+		}
+		if out[a].NoReuse != out[b].NoReuse {
+			return out[a].NoReuse
+		}
+		if out[a].LitExtracts != out[b].LitExtracts {
+			return out[a].LitExtracts < out[b].LitExtracts
+		}
+		if out[a].DL != out[b].DL {
+			return out[a].DL < out[b].DL
+		}
+		if len(out[a].Plan.Ops) != len(out[b].Plan.Ops) {
+			return len(out[a].Plan.Ops) < len(out[b].Plan.Ops)
+		}
+		return lessOps(out[a].Plan.Ops, out[b].Plan.Ops)
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// litExtracts counts, across the plan's extracts, how many multi-character
+// literal source tokens are pulled into the target. Single-character
+// punctuation literals (separators spanned by a combined extract) are not
+// counted — spanning a '/' is normal, copying 'University' is suspicious.
+func litExtracts(p unifi.Plan, src pattern.Pattern) int {
+	n := 0
+	for _, op := range p.Ops {
+		e, ok := op.(unifi.Extract)
+		if !ok {
+			continue
+		}
+		for j := e.I; j <= e.J && j <= src.Len(); j++ {
+			t := src.At(j - 1)
+			if t.IsLiteral() && len(t.Lit) > 1 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// noReuse reports whether no source token is extracted more than once.
+func noReuse(p unifi.Plan) bool {
+	used := make(map[int]bool)
+	for _, op := range p.Ops {
+		e, ok := op.(unifi.Extract)
+		if !ok {
+			continue
+		}
+		for j := e.I; j <= e.J; j++ {
+			if used[j] {
+				return false
+			}
+			used[j] = true
+		}
+	}
+	return true
+}
+
+// Monotone reports whether the plan's extracts read the source pattern
+// strictly left to right: each extract starts after the previous one ends.
+func Monotone(p unifi.Plan) bool {
+	last := 0
+	for _, op := range p.Ops {
+		e, ok := op.(unifi.Extract)
+		if !ok {
+			continue
+		}
+		if e.I <= last {
+			return false
+		}
+		last = e.J
+	}
+	return true
+}
+
+// lessOps orders operator sequences preferring in-order, early source
+// positions: the deterministic tie-break for equal description lengths.
+func lessOps(a, b []unifi.Op) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		ka, kb := opKey(a[i]), opKey(b[i])
+		for d := 0; d < len(ka); d++ {
+			if ka[d] != kb[d] {
+				return ka[d] < kb[d]
+			}
+		}
+	}
+	return len(a) < len(b)
+}
+
+func opKey(op unifi.Op) [3]int {
+	switch op := op.(type) {
+	case unifi.Extract:
+		return [3]int{0, op.I, op.J}
+	case unifi.ConstStr:
+		return [3]int{1, len(op.S), 0}
+	}
+	return [3]int{2, 0, 0}
+}

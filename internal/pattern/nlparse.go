@@ -1,0 +1,158 @@
+// Parsing of Wrangler-style natural-language regexps — the format CLX
+// displays to the user (paper Fig. 4). ParseNL is its inverse, so a user
+// can also type the desired pattern in the familiar display syntax, e.g.
+// "/^{digit}{3}-{digit}{3}-{digit}{4}$/" or "{upper}{lower}+, {upper}.".
+package pattern
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+
+	"clx/internal/token"
+)
+
+// ParseNL parses a natural-language-like regexp into a Pattern. The
+// surrounding "/^…$/" anchors are optional. Class tokens are written
+// {digit}, {lower}, {upper}, {alpha}, {alnum}, each optionally followed by
+// a {n} count or '+'. Any other character is a literal; a backslash
+// escapes the next character.
+func ParseNL(s string) (Pattern, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "/^") && strings.HasSuffix(s, "$/") && len(s) >= 4 {
+		s = s[2 : len(s)-2]
+	}
+	var toks []token.Token
+	i := 0
+	for i < len(s) {
+		switch {
+		case s[i] == '{':
+			j := strings.IndexByte(s[i:], '}')
+			if j < 0 {
+				return Pattern{}, fmt.Errorf("pattern.ParseNL: unterminated '{' at %d in %q", i, s)
+			}
+			name := s[i+1 : i+j]
+			c, ok := classByNLName(name)
+			if !ok {
+				// "{3}" after a class is handled below; a brace group
+				// that is neither a class nor a count is an error.
+				return Pattern{}, fmt.Errorf("pattern.ParseNL: unknown token class %q in %q", name, s)
+			}
+			i += j + 1
+			q, n, err := parseNLQuant(s[i:])
+			if err != nil {
+				return Pattern{}, err
+			}
+			i += n
+			toks = append(toks, token.Base(c, q))
+		case s[i] == '\\' && i+1 < len(s):
+			lit, size := decodeLiteral(s[i+1:])
+			toks = appendLiteral(toks, lit)
+			i += 1 + size
+		default:
+			lit, size := decodeLiteral(s[i:])
+			toks = appendLiteral(toks, lit)
+			i += size
+		}
+	}
+	return Pattern{toks: toks}, nil
+}
+
+// MustParseNL is ParseNL but panics on error.
+func MustParseNL(s string) Pattern {
+	p, err := ParseNL(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func classByNLName(name string) (token.Class, bool) {
+	switch name {
+	case "digit":
+		return token.Digit, true
+	case "lower":
+		return token.Lower, true
+	case "upper":
+		return token.Upper, true
+	case "alpha":
+		return token.Alpha, true
+	case "alnum":
+		return token.AlphaNum, true
+	}
+	return token.Literal, false
+}
+
+// parseNLQuant parses an optional "{n}" or "+" quantifier.
+func parseNLQuant(s string) (q, n int, err error) {
+	if s == "" {
+		return 1, 0, nil
+	}
+	if s[0] == '+' {
+		return token.Plus, 1, nil
+	}
+	if s[0] != '{' {
+		return 1, 0, nil
+	}
+	j := strings.IndexByte(s, '}')
+	if j < 0 {
+		return 0, 0, fmt.Errorf("pattern.ParseNL: unterminated quantifier in %q", s)
+	}
+	body := s[1:j]
+	q = 0
+	for _, r := range body {
+		if r < '0' || r > '9' {
+			// Not a count — e.g. "{digit}{lower}": leave for the caller.
+			return 1, 0, nil
+		}
+		q = q*10 + int(r-'0')
+		if q > maxQuant {
+			return 0, 0, fmt.Errorf("pattern.ParseNL: quantifier %q too large", body)
+		}
+	}
+	if q < 1 {
+		return 0, 0, fmt.Errorf("pattern.ParseNL: quantifier %q must be >= 1", body)
+	}
+	return q, j + 1, nil
+}
+
+// decodeLiteral returns the next literal character's exact bytes: a whole
+// UTF-8 rune when valid, the single raw byte otherwise (mirroring the
+// tokenizer, so NL renderings of arbitrary byte strings round-trip).
+func decodeLiteral(s string) (lit string, size int) {
+	if s == "" {
+		return "", 0
+	}
+	if s[0] < 0x80 {
+		return s[:1], 1
+	}
+	_, size = utf8.DecodeRuneInString(s)
+	return s[:size], size
+}
+
+// appendLiteral appends a one-character literal token. Consecutive literal
+// characters stay separate tokens, matching the tokenizer's output for
+// punctuation; alphanumeric literal characters merge into one constant so
+// "Dr" round-trips as a single literal.
+func appendLiteral(toks []token.Token, lit string) []token.Token {
+	if lit == "" {
+		return toks
+	}
+	if n := len(toks); n > 0 && isAlnumLit(lit) {
+		last := toks[n-1]
+		if last.IsLiteral() && last.Quant == 1 && isAlnumLit(last.Lit) {
+			toks[n-1] = token.Lit(last.Lit + lit)
+			return toks
+		}
+	}
+	return append(toks, token.Lit(lit))
+}
+
+func isAlnumLit(s string) bool {
+	for _, r := range s {
+		if !((r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+			return false
+		}
+	}
+	return true
+}

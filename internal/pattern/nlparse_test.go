@@ -1,0 +1,69 @@
+package pattern
+
+import (
+	"testing"
+)
+
+func TestParseNL(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string // compact notation
+	}{
+		{"/^{digit}{3}-{digit}{3}-{digit}{4}$/", "<D>3'-'<D>3'-'<D>4"},
+		{"{digit}{3}-{digit}{4}", "<D>3'-'<D>4"},
+		{`/^\({digit}{3}\) {digit}{3}\-{digit}{4}$/`, "'('<D>3')'' '<D>3'-'<D>4"},
+		{"{upper}{lower}+, {upper}.", "<U><L>+','' '<U>'.'"},
+		{"{alnum}+@{alnum}+", "<AN>+'@'<AN>+"},
+		{"[{upper}+-{digit}+]", "'['<U>+'-'<D>+']'"},
+		{"Dr. {upper}{lower}+", "'Dr''.'' '<U><L>+"},
+		{"{digit}", "<D>"},
+		{"{digit}{lower}", "<D><L>"}, // brace group that is a class, not a count
+	}
+	for _, tc := range tests {
+		p, err := ParseNL(tc.in)
+		if err != nil {
+			t.Errorf("ParseNL(%q): %v", tc.in, err)
+			continue
+		}
+		if got := p.String(); got != tc.want {
+			t.Errorf("ParseNL(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseNLErrors(t *testing.T) {
+	for _, s := range []string{"{digit", "{bogus}", "{digit}{0}", "{digit}{"} {
+		if _, err := ParseNL(s); err == nil {
+			t.Errorf("ParseNL(%q) succeeded, want error", s)
+		}
+	}
+}
+
+// Round trip: rendering a pattern as an NL regexp and parsing it back
+// yields a pattern matching the same strings.
+func TestParseNLRoundTrip(t *testing.T) {
+	samples := []string{
+		"(734) 645-8397", "CPT-00350", "Bob123@gmail.com", "Dr. Eran Yahav",
+		"[CPT-115]", "a_b-c d",
+	}
+	for _, s := range samples {
+		p := FromString(s)
+		q, err := ParseNL(p.NLRegex())
+		if err != nil {
+			t.Errorf("round trip of %q: %v", s, err)
+			continue
+		}
+		if !q.Matches(s) {
+			t.Errorf("round-tripped pattern %s does not match %q (original %s)", q, s, p)
+		}
+	}
+}
+
+func TestMustParseNLPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseNL on garbage did not panic")
+		}
+	}()
+	MustParseNL("{nope}")
+}

@@ -1,0 +1,224 @@
+package pattern
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"clx/internal/token"
+)
+
+func TestStringAndParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"<U><L>2<D>3'@'<L>5'.'<L>3",
+		"'('<D>3')'' '<D>3'-'<D>4",
+		"<D>3'-'<D>3'-'<D>4",
+		"<AN>+'@'<AN>+'.'<AN>+",
+		"<U>+<L>+",
+		"'Dr.'' '<U><L>+",
+		"",
+	}
+	for _, s := range cases {
+		p, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := p.String(); got != s {
+			t.Errorf("Parse(%q).String() = %q", s, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"<D", "<X>", "'abc", "''", "x", "<D>3x"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestFromString(t *testing.T) {
+	p := FromString("(734) 645-8397")
+	want := "'('<D>3')'' '<D>3'-'<D>4"
+	if p.String() != want {
+		t.Errorf("FromString pattern = %q, want %q", p.String(), want)
+	}
+	if !p.Matches("(734) 645-8397") {
+		t.Error("pattern does not match its own source string")
+	}
+	if p.Matches("(73) 645-8397") {
+		t.Error("pattern matches wrong string")
+	}
+}
+
+func TestEqualAndKey(t *testing.T) {
+	a := MustParse("<D>3'-'<D>4")
+	b := MustParse("<D>3'-'<D>4")
+	c := MustParse("<D>3'.'<D>4")
+	if !a.Equal(b) || a.Key() != b.Key() {
+		t.Error("identical patterns not Equal / keys differ")
+	}
+	if a.Equal(c) || a.Key() == c.Key() {
+		t.Error("different patterns Equal / keys collide")
+	}
+}
+
+func TestNLRegex(t *testing.T) {
+	p := MustParse("'('<D>3')'' '<D>3'-'<D>4")
+	want := `/^\({digit}{3}\) {digit}{3}\-{digit}{4}$/`
+	if got := p.NLRegex(); got != want {
+		t.Errorf("NLRegex = %q, want %q", got, want)
+	}
+}
+
+func TestRegex(t *testing.T) {
+	p := MustParse("'('<D>3')'' '<D>3'-'<D>4")
+	want := `^\([0-9]{3}\) [0-9]{3}\-[0-9]{4}$`
+	if got := p.Regex(); got != want {
+		t.Errorf("Regex = %q, want %q", got, want)
+	}
+}
+
+func TestGroupedRegex(t *testing.T) {
+	// Paper Fig 4, op 2: /^({digit}{3})\-({digit}{3})\-({digit}{4})$/
+	p := MustParse("<D>3'-'<D>3'-'<D>4")
+	got := p.GroupedNLRegex([][2]int{{0, 1}, {2, 3}, {4, 5}})
+	want := `/^({digit}{3})\-({digit}{3})\-({digit}{4})$/`
+	if got != want {
+		t.Errorf("GroupedNLRegex = %q, want %q", got, want)
+	}
+	// Multi-token group.
+	got = p.GroupedRegex([][2]int{{0, 3}})
+	want = `^([0-9]{3}\-[0-9]{3})\-[0-9]{4}$`
+	if got != want {
+		t.Errorf("GroupedRegex = %q, want %q", got, want)
+	}
+}
+
+func TestFreq(t *testing.T) {
+	// Paper Example 7.
+	target := MustParse("'['<U>+'-'<D>+']'")
+	if q := target.Freq(token.Digit); q != 1 {
+		t.Errorf("Q(<D>, T) = %d, want 1", q)
+	}
+	if q := target.Freq(token.Upper); q != 1 {
+		t.Errorf("Q(<U>, T) = %d, want 1", q)
+	}
+	src := MustParse("'['<U>3'-'<D>5")
+	if q := src.Freq(token.Digit); q != 5 {
+		t.Errorf("Q(<D>, p) = %d, want 5", q)
+	}
+	if q := src.Freq(token.Upper); q != 3 {
+		t.Errorf("Q(<U>, p) = %d, want 3", q)
+	}
+	rejected := MustParse("'['<U>3'-'")
+	if q := rejected.Freq(token.Digit); q != 0 {
+		t.Errorf("Q(<D>, rejected) = %d, want 0", q)
+	}
+}
+
+func TestFreqHierarchical(t *testing.T) {
+	p := MustParse("<U><L>3<D>2")
+	if q := p.FreqHierarchical(token.Alpha); q != 4 {
+		t.Errorf("hierarchical Q(<A>) = %d, want 4", q)
+	}
+	if q := p.FreqHierarchical(token.AlphaNum); q != 6 {
+		t.Errorf("hierarchical Q(<AN>) = %d, want 6", q)
+	}
+	if q := p.Freq(token.Alpha); q != 0 {
+		t.Errorf("exact Q(<A>) = %d, want 0", q)
+	}
+}
+
+func TestGeneralizesPatterns(t *testing.T) {
+	tests := []struct {
+		g, c string
+		want bool
+	}{
+		{"<U>+<L>+", "<U><L>2", true},
+		{"<A>+<D>+", "<U>+<D>+", true},
+		{"<AN>+", "<D>3", true}, // any 3 digits match <AN>+
+		{"<AN>+'@'<AN>+", "<L>3'@'<L>5", true},
+		{"<D>+", "<L>+", false},
+		{"<D>3", "<D>4", false},
+		{"<AN>+", "'-'", true}, // AN subsumes hyphen literal
+		{"<AN>+", "'.'", false},
+		{"'x'", "'x'", true},
+		{"'x'", "'y'", false},
+	}
+	for _, tc := range tests {
+		g, c := MustParse(tc.g), MustParse(tc.c)
+		if got := g.Generalizes(c); got != tc.want {
+			t.Errorf("%q.Generalizes(%q) = %v, want %v", tc.g, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestMinLen(t *testing.T) {
+	tests := map[string]int{
+		"<D>3'-'<D>4":  8,
+		"<AN>+":        1,
+		"'Dr.'<L>+":    4,
+		"":             0,
+		"<U>+<L>+<D>+": 3,
+	}
+	for s, want := range tests {
+		if got := MustParse(s).MinLen(); got != want {
+			t.Errorf("MinLen(%q) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestBaseTokens(t *testing.T) {
+	p := MustParse("'('<D>3')'' '<D>3'-'<D>4")
+	if got := p.BaseTokens(); got != 3 {
+		t.Errorf("BaseTokens = %d, want 3", got)
+	}
+}
+
+// Property: FromString(s) always matches s, and Parse∘String is identity.
+func TestPatternProperties(t *testing.T) {
+	gen := func(v []reflect.Value, r *rand.Rand) {
+		n := r.Intn(30)
+		b := make([]byte, n)
+		const alphabet = "abXY01 -.@"
+		for i := range b {
+			b[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		v[0] = reflect.ValueOf(string(b))
+	}
+	f := func(s string) bool {
+		p := FromString(s)
+		if !p.Matches(s) {
+			return false
+		}
+		q, err := Parse(p.String())
+		return err == nil && q.Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Values: gen}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: if g.Generalizes(c), any string matching c also matches g.
+func TestGeneralizesSemantics(t *testing.T) {
+	pairs := []struct{ g, c, s string }{
+		{"<U>+<L>+", "<U><L>2", "Bob"},
+		{"<A>+<D>+", "<U>+<D>+", "CPT115"},
+		{"<AN>+'@'<AN>+", "<L>3'@'<L>5", "bob@gmail"},
+	}
+	for _, pc := range pairs {
+		g, c := MustParse(pc.g), MustParse(pc.c)
+		if !g.Generalizes(c) {
+			t.Errorf("%q should generalize %q", pc.g, pc.c)
+			continue
+		}
+		if !c.Matches(pc.s) {
+			t.Errorf("%q should match %q", pc.c, pc.s)
+		}
+		if !g.Matches(pc.s) {
+			t.Errorf("%q should match %q (generalization semantics)", pc.g, pc.s)
+		}
+	}
+}

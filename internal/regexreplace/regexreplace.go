@@ -1,0 +1,234 @@
+// Package regexreplace implements the RegexReplace baseline of paper §7.1:
+// the Trifacta Wrangler feature letting a user manually author Replace
+// operations with simple natural-language-like regexps. The simulated user
+// is an oracle — a skilled human who always writes a correct operation —
+// but pays two Steps per operation (§7.4 metrics): one regexp for the match
+// pattern and one for the replacement.
+//
+// The oracle prefers pattern-level operations (one per source format); when
+// no pattern-level replacement is correct for every row of a format (the
+// advanced-conditional case), it falls back to exact-string operations for
+// individual records, as the paper notes Trifacta users can ("replacing the
+// exact string of an individual data record into its desired form").
+package regexreplace
+
+import (
+	"clx/internal/align"
+	"clx/internal/cluster"
+	"clx/internal/mdl"
+	"clx/internal/pattern"
+	"clx/internal/replace"
+	"clx/internal/token"
+	"clx/internal/unifi"
+)
+
+// Result is the outcome of the simulated manual-replace session.
+type Result struct {
+	// Ops are the authored Replace operations, in authoring order.
+	Ops replace.Program
+	// PatternOps and ExactOps split the operation count by kind.
+	PatternOps, ExactOps int
+	// TriggerRows records, per authored operation, the row index whose
+	// incorrectness prompted it — the user's scan position trace.
+	TriggerRows []int
+	// FailedRows are row indices the session could not fix (conflicting
+	// duplicates).
+	FailedRows []int
+	// Outputs is the final transformed column.
+	Outputs []string
+}
+
+// Steps returns the §7.4 user-effort Steps: two per authored operation plus
+// one per row left incorrect.
+func (r Result) Steps() int {
+	return 2*(r.PatternOps+r.ExactOps) + len(r.FailedRows)
+}
+
+// Perfect reports whether every row ended up correct.
+func (r Result) Perfect() bool { return len(r.FailedRows) == 0 }
+
+// Interactions returns the number of user interactions (one per authored
+// operation).
+func (r Result) Interactions() int { return r.PatternOps + r.ExactOps }
+
+// Simulate runs the oracle user over the column: walk rows in order; for the
+// first row still incorrect under the authored operations, write a new
+// operation (pattern-level if one fixes the row's whole format, else
+// exact-string) and continue.
+func Simulate(inputs, outputs []string) Result {
+	var res Result
+	current := func(s string) string {
+		if out, ok := res.Ops.Apply(s); ok {
+			return out
+		}
+		return s
+	}
+	for i := range inputs {
+		if current(inputs[i]) == outputs[i] {
+			continue
+		}
+		// Author an operation for this row's format. A real user writes
+		// '+'-quantified regexps covering the whole format family, so the
+		// generalized pattern is tried before the exact-length one.
+		res.TriggerRows = append(res.TriggerRows, i)
+		leaf := pattern.FromString(inputs[i])
+		gen := cluster.Generalize(leaf, cluster.QuantToPlus)
+		if op, ok := patternOp(gen, inputs, outputs); ok {
+			res.Ops = append(res.Ops, op)
+			res.PatternOps++
+		} else if op, ok := patternOp(leaf, inputs, outputs); ok {
+			res.Ops = append(res.Ops, op)
+			res.PatternOps++
+		} else if op, ok := splitOp(inputs[i], outputs[i], inputs, outputs); ok {
+			res.Ops = append(res.Ops, op)
+			res.PatternOps++
+		} else {
+			res.Ops = append(res.Ops, exactOp(inputs[i], outputs[i]))
+			res.ExactOps++
+		}
+		if current(inputs[i]) != outputs[i] {
+			// Even the authored op cannot fix this row (conflicting
+			// duplicate inputs): the row fails.
+			res.FailedRows = append(res.FailedRows, i)
+		}
+	}
+	res.Outputs = make([]string, len(inputs))
+	for i := range inputs {
+		res.Outputs[i] = current(inputs[i])
+		if res.Outputs[i] != outputs[i] && !contains(res.FailedRows, i) {
+			res.FailedRows = append(res.FailedRows, i)
+		}
+	}
+	return res
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// patternOp tries to author one Replace operation correct for every row of
+// the source format. The oracle can write any regexp replacement a human
+// could, modeled as a search over the alignment version space against the
+// format's desired output pattern.
+func patternOp(src pattern.Pattern, inputs, outputs []string) (replace.Op, bool) {
+	// Collect the rows of this format and their expected outputs.
+	var rows []int
+	for i, in := range inputs {
+		if src.Matches(in) {
+			rows = append(rows, i)
+		}
+	}
+	if len(rows) == 0 {
+		return replace.Op{}, false
+	}
+	// Candidate replacement shapes: a human writes the desired output
+	// format with constant text spelled out ("Dr. $1"), so the outputs of
+	// the format's rows are profiled with constant discovery and their
+	// '+'-generalized patterns tried in turn.
+	outs := make([]string, len(rows))
+	for k, i := range rows {
+		outs[k] = outputs[i]
+	}
+	copts := cluster.DefaultOptions()
+	copts.MinConstantSupport = 2
+	copts.MinConstantRatio = 0.5
+	var targets []pattern.Pattern
+	seen := map[string]bool{}
+	for _, c := range cluster.Initial(outs, copts) {
+		for _, tgt := range []pattern.Pattern{c.Pattern, cluster.Generalize(c.Pattern, cluster.QuantToPlus)} {
+			if k := tgt.Key(); !seen[k] {
+				seen[k] = true
+				targets = append(targets, tgt)
+			}
+		}
+	}
+	for _, tgt := range targets {
+		dag := align.Align(tgt, src)
+		if !dag.Complete() {
+			continue
+		}
+		for _, r := range mdl.TopK(dag, src, 64) {
+			ok := true
+			for _, i := range rows {
+				out, err := r.Plan.Apply(src, inputs[i])
+				if err != nil || out != outputs[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return replace.ExplainCase(unifi.Case{Source: src, Plan: r.Plan}), true
+			}
+		}
+	}
+	return replace.Op{}, false
+}
+
+// splitOp handles formats the token-granularity pattern language cannot:
+// a hand-written regexp can split a character run into fixed-width groups,
+// e.g. /^(\d{3})(\d{3})(\d{4})$/ -> "$1-$2-$3". The source pattern is
+// derived from the desired output's shape: each base token of the output
+// consumes its width from the input, literal output tokens are either
+// consumed (when the input carries them) or inserted as constants.
+func splitOp(in, out string, inputs, outputs []string) (replace.Op, bool) {
+	tgt := pattern.FromString(out)
+	var src []token.Token
+	var ops []unifi.Op
+	pos := 0
+	for _, t := range tgt.Tokens() {
+		w, fixed := t.FixedLen()
+		if !fixed {
+			return replace.Op{}, false
+		}
+		if t.IsLiteral() {
+			lit := t.Expand()
+			if pos+len(lit) <= len(in) && in[pos:pos+len(lit)] == lit {
+				src = append(src, t)
+				ops = append(ops, unifi.Extract{I: len(src), J: len(src)})
+				pos += len(lit)
+			} else {
+				ops = append(ops, unifi.ConstStr{S: lit})
+			}
+			continue
+		}
+		if pos+w > len(in) {
+			return replace.Op{}, false
+		}
+		for k := pos; k < pos+w; k++ {
+			if !t.Class.Contains(rune(in[k])) {
+				return replace.Op{}, false
+			}
+		}
+		src = append(src, token.Base(t.Class, w))
+		ops = append(ops, unifi.Extract{I: len(src), J: len(src)})
+		pos += w
+	}
+	if pos != len(in) || len(src) == 0 {
+		return replace.Op{}, false
+	}
+	srcPat := pattern.Of(src...)
+	plan := unifi.Plan{Ops: ops}
+	// Verify against every row the split pattern matches.
+	for i := range inputs {
+		if !srcPat.Matches(inputs[i]) {
+			continue
+		}
+		got, err := plan.Apply(srcPat, inputs[i])
+		if err != nil || got != outputs[i] {
+			return replace.Op{}, false
+		}
+	}
+	return replace.ExplainCase(unifi.Case{Source: srcPat, Plan: plan}), true
+}
+
+// exactOp authors a whole-string replacement for a single record.
+func exactOp(in, out string) replace.Op {
+	src := pattern.Of(token.Lit(in))
+	plan := unifi.Plan{Ops: []unifi.Op{unifi.ConstStr{S: out}}}
+	return replace.ExplainCase(unifi.Case{Source: src, Plan: plan})
+}

@@ -1,0 +1,103 @@
+package rematch
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"clx/internal/token"
+	"clx/internal/tokenize"
+)
+
+func TestCompiledEquivalentToMatch(t *testing.T) {
+	patterns := [][]token.Token{
+		tokenize.Tokenize("(734) 645-8397"),
+		tokenize.Tokenize("CPT-00350"),
+		{token.Base(token.AlphaNum, token.Plus), token.Lit("@"), token.Base(token.AlphaNum, token.Plus)},
+		{token.Base(token.Upper, token.Plus), token.Lit("-"), token.Base(token.Digit, token.Plus)},
+		nil,
+	}
+	subjects := []string{
+		"(734) 645-8397", "(313) 263-1192", "CPT-00350", "XYZ-42",
+		"a b@c d", "nope", "", "734-422-8073", "CPT-0035", "CPT-003500",
+	}
+	for _, p := range patterns {
+		c := Compile(p)
+		for _, s := range subjects {
+			wantSpans, wantOK := Match(p, s)
+			gotSpans, gotOK := c.Match(s)
+			if wantOK != gotOK || !reflect.DeepEqual(wantSpans, gotSpans) {
+				t.Errorf("pattern %v on %q: compiled (%v,%v) != one-shot (%v,%v)",
+					p, s, gotSpans, gotOK, wantSpans, wantOK)
+			}
+			if c.Matches(s) != wantOK {
+				t.Errorf("pattern %v on %q: Matches disagrees", p, s)
+			}
+		}
+	}
+}
+
+func TestCompiledQuickRejects(t *testing.T) {
+	p := tokenize.Tokenize("(734) 645-8397")
+	c := Compile(p)
+	// Fixed-length pattern: wrong lengths rejected without backtracking.
+	if c.Matches("(734) 645-839") || c.Matches("(734) 645-83977") {
+		t.Error("length quick-reject failed")
+	}
+	// Literal prefix/suffix rejects.
+	if c.Matches("[734) 645-8397") {
+		t.Error("prefix quick-reject failed")
+	}
+	p2 := []token.Token{token.Lit("["), token.Base(token.Digit, token.Plus), token.Lit("]")}
+	c2 := Compile(p2)
+	if c2.Matches("[123)") {
+		t.Error("suffix quick-reject failed")
+	}
+	if !c2.Matches("[123]") {
+		t.Error("valid subject rejected")
+	}
+}
+
+func TestCompiledConcurrent(t *testing.T) {
+	p := []token.Token{
+		token.Base(token.AlphaNum, token.Plus), token.Lit("."),
+		token.Base(token.Digit, 4),
+	}
+	c := Compile(p)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				spans, ok := c.Match("abc123.2019")
+				if !ok || len(spans) != 3 || spans[2] != (Span{7, 11}) {
+					t.Errorf("concurrent match wrong: %v %v", spans, ok)
+					return
+				}
+				if c.Matches("nope") {
+					t.Error("concurrent false positive")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkCompiledVsOneShot(b *testing.B) {
+	p := tokenize.Tokenize("(734) 645-8397")
+	subject := "(313) 263-1192"
+	b.Run("one-shot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Matches(p, subject)
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		c := Compile(p)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Matches(subject)
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package simuser
+
+import (
+	"testing"
+
+	"clx/internal/benchsuite"
+)
+
+// The §7.4 guard extension lets extended CLX solve the content-conditional
+// task that plain UniFi cannot express.
+func TestExtendedSolvesConditionalTask(t *testing.T) {
+	task, _ := benchsuite.ByName("ff-ex13-picture")
+
+	plain := SimulateCLX(task.Inputs, task.Outputs, DefaultOptions())
+	if plain.Perfect() {
+		t.Fatal("plain CLX should fail the conditional task")
+	}
+
+	opts := DefaultOptions()
+	opts.ContentConditionals = true
+	ext := SimulateCLX(task.Inputs, task.Outputs, opts)
+	if !ext.Perfect() {
+		t.Fatalf("extended CLX failed: %d rows wrong", len(ext.FailedRows))
+	}
+	// The guards cost repairs: one per guarded case.
+	if ext.Repairs < 2 {
+		t.Errorf("repairs = %d, want >= 2 (one per keyword group)", ext.Repairs)
+	}
+}
+
+// The extension never regresses tasks plain CLX already solves, and
+// improves overall expressivity by exactly the conditional task (the four
+// representativeness failures are about missing target evidence, which no
+// conditional can invent).
+func TestExtendedExpressivity(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ContentConditionals = true
+	plainPerfect, extPerfect := 0, 0
+	for _, task := range benchsuite.Tasks() {
+		plain := SimulateCLX(task.Inputs, task.Outputs, DefaultOptions())
+		ext := SimulateCLX(task.Inputs, task.Outputs, opts)
+		if plain.Perfect() {
+			plainPerfect++
+			if !ext.Perfect() {
+				t.Errorf("%s: extension regressed a solved task", task.Name)
+			}
+		}
+		if ext.Perfect() {
+			extPerfect++
+		}
+	}
+	if extPerfect <= plainPerfect {
+		t.Errorf("extended perfect = %d, plain = %d; extension should add coverage",
+			extPerfect, plainPerfect)
+	}
+	t.Logf("expressivity: plain %d/47, extended %d/47", plainPerfect, extPerfect)
+}

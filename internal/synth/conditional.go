@@ -1,0 +1,152 @@
+// Conditional plan synthesis — the §7.4 extension. When no single atomic
+// transformation plan is correct for every row of a source pattern, the
+// rows may still split cleanly on the *content* of one source token
+// ("picture" rows vs "invoice" rows). ConditionalSplit discovers such a
+// split and returns one guarded case per group, each synthesized against
+// the group's own desired pattern (whose constants — 'PIC', 'DOC' — only
+// emerge within the group).
+package synth
+
+import (
+	"sort"
+
+	"clx/internal/align"
+	"clx/internal/cluster"
+	"clx/internal/mdl"
+	"clx/internal/pattern"
+	"clx/internal/unifi"
+)
+
+// MaxConditionalGroups bounds how many guarded cases a split may produce;
+// beyond this the "conditional" is really per-row patching and is rejected.
+const MaxConditionalGroups = 4
+
+// ConditionalSplit tries to cover the (input, want) rows of one source
+// pattern with content-guarded cases. It returns the guarded cases and
+// true on success: every row transformed correctly by the first applicable
+// case. opts follows Synthesize.
+func ConditionalSplit(src pattern.Pattern, inputs, wants []string, opts Options) ([]unifi.GuardedCase, bool) {
+	if len(inputs) == 0 || len(inputs) != len(wants) {
+		return nil, false
+	}
+	if opts.K <= 0 {
+		opts.K = DefaultOptions().K
+	}
+	// When one unconditional plan covers every row, no guard is needed.
+	all := make([]int, len(inputs))
+	for i := range all {
+		all[i] = i
+	}
+	if plan, ok := planForGroup(src, inputs, wants, all, opts); ok {
+		return []unifi.GuardedCase{{Source: src, Plan: plan}}, true
+	}
+	// Try each source token position as the discriminator: group rows by
+	// that token's content and synthesize one plan per group against the
+	// group's own target pattern.
+	for ti := 1; ti <= src.Len(); ti++ {
+		groups, ok := groupByToken(src, inputs, ti)
+		if !ok || len(groups) < 2 || len(groups) > MaxConditionalGroups {
+			continue
+		}
+		cases := make([]unifi.GuardedCase, 0, len(groups))
+		solved := true
+		for _, g := range groups {
+			plan, ok := planForGroup(src, inputs, wants, g.rows, opts)
+			if !ok {
+				solved = false
+				break
+			}
+			cases = append(cases, unifi.GuardedCase{
+				Source: src,
+				Guard:  unifi.TokenIs{I: ti, Value: g.value},
+				Plan:   plan,
+			})
+		}
+		if solved {
+			return cases, true
+		}
+	}
+	return nil, false
+}
+
+type tokenGroup struct {
+	value string
+	rows  []int
+}
+
+// groupByToken groups row indices by the content of source token ti.
+func groupByToken(src pattern.Pattern, inputs []string, ti int) ([]tokenGroup, bool) {
+	byValue := map[string][]int{}
+	var order []string
+	for i, s := range inputs {
+		spans, ok := src.Match(s)
+		if !ok || ti > len(spans) {
+			return nil, false
+		}
+		v := s[spans[ti-1].Start:spans[ti-1].End]
+		if _, seen := byValue[v]; !seen {
+			order = append(order, v)
+		}
+		byValue[v] = append(byValue[v], i)
+	}
+	sort.Strings(order)
+	out := make([]tokenGroup, 0, len(order))
+	for _, v := range order {
+		out = append(out, tokenGroup{value: v, rows: byValue[v]})
+	}
+	return out, true
+}
+
+// planForGroup derives the group's target pattern from its desired outputs
+// (constant discovery scoped to the group, so shared prefixes like 'PIC'
+// freeze) and returns the first ranked plan correct for every group row.
+func planForGroup(src pattern.Pattern, inputs, wants []string, rows []int, opts Options) (unifi.Plan, bool) {
+	groupWants := make([]string, len(rows))
+	for k, i := range rows {
+		groupWants[k] = wants[i]
+	}
+	// Constants freeze only with two witnesses: from a single row it is
+	// impossible to tell constant boilerplate from variable content, and a
+	// frozen variable would memorize the row instead of generalizing.
+	copts := cluster.DefaultOptions()
+	copts.MinConstantSupport = 2
+	copts.MinConstantRatio = 1
+	cs := cluster.Initial(groupWants, copts)
+	if len(cs) != 1 {
+		return unifi.Plan{}, false // group outputs are not one format
+	}
+	// Try the exact target first, then its '+'-generalization: a '+'
+	// source token can only produce a '+' target token (the CanProduce
+	// soundness rule), so variable-width extractions need the generalized
+	// form.
+	targets := []pattern.Pattern{cs[0].Pattern, cluster.Generalize(cs[0].Pattern, cluster.QuantToPlus)}
+	pool := opts.K * 8
+	if pool < 64 {
+		pool = 64
+	}
+	for _, target := range targets {
+		var dag *align.DAG
+		if opts.DisableCombine {
+			dag = align.AlignSingle(target, src)
+		} else {
+			dag = align.Align(target, src)
+		}
+		if !dag.Complete() {
+			continue
+		}
+		for _, r := range Dedup(mdl.TopK(dag, src, pool), src) {
+			ok := true
+			for _, i := range rows {
+				out, err := r.Plan.Apply(src, inputs[i])
+				if err != nil || out != wants[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return r.Plan, true
+			}
+		}
+	}
+	return unifi.Plan{}, false
+}

@@ -1,0 +1,113 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"clx/internal/pattern"
+	"clx/internal/unifi"
+)
+
+// The FlashFill "Example 13" analogue (benchsuite ff-ex13-picture): same
+// source pattern, output constant depends on a keyword. Inexpressible in
+// plain UniFi; solvable with the §7.4 guard extension.
+func TestConditionalSplitPicture(t *testing.T) {
+	src := pattern.MustParse("<L>7' '<D>3")
+	inputs := []string{
+		"picture 001", "invoice 001", "picture 002", "invoice 002",
+	}
+	wants := []string{
+		"PIC-001", "DOC-001", "PIC-002", "DOC-002",
+	}
+	cases, ok := ConditionalSplit(src, inputs, wants, DefaultOptions())
+	if !ok {
+		t.Fatal("ConditionalSplit failed")
+	}
+	if len(cases) != 2 {
+		t.Fatalf("cases = %d, want 2", len(cases))
+	}
+	prog := unifi.GuardedProgram{Cases: cases}
+	for i, in := range inputs {
+		out, err := prog.Apply(in)
+		if err != nil || out != wants[i] {
+			t.Errorf("Apply(%q) = %q, %v; want %q", in, out, err, wants[i])
+		}
+	}
+	// The program generalizes: new ids of known keywords work; unknown
+	// keywords are rejected, not guessed.
+	out, err := prog.Apply("picture 777")
+	if err != nil || out != "PIC-777" {
+		t.Errorf("novel picture row = %q, %v", out, err)
+	}
+	if _, err := prog.Apply("receipt 001"); err == nil {
+		t.Error("unknown keyword should not match any guard")
+	}
+	// Guards render readably.
+	if s := prog.String(); !strings.Contains(s, `token 1 is "picture"`) {
+		t.Errorf("program rendering lacks guard: %s", s)
+	}
+}
+
+func TestConditionalSplitRejectsUnsplittable(t *testing.T) {
+	src := pattern.MustParse("<L>3")
+	// Every row needs a different output and there are more distinct
+	// values than MaxConditionalGroups.
+	inputs := []string{"aaa", "bbb", "ccc", "ddd", "eee"}
+	wants := []string{"1", "2", "3", "4", "5"}
+	if _, ok := ConditionalSplit(src, inputs, wants, DefaultOptions()); ok {
+		t.Error("per-row patching should not pass as a conditional")
+	}
+}
+
+func TestConditionalSplitUnconditionalWhenPossible(t *testing.T) {
+	// When one plan covers every row, a single unguarded case comes back.
+	src := pattern.MustParse("<L>3' '<D>2")
+	inputs := []string{"abc 12", "abc 34"}
+	wants := []string{"12", "34"}
+	cases, ok := ConditionalSplit(src, inputs, wants, DefaultOptions())
+	if !ok || len(cases) != 1 || cases[0].Guard != nil {
+		t.Errorf("cases = %v ok = %v, want one unguarded case", cases, ok)
+	}
+}
+
+func TestConditionalSplitMismatchedRows(t *testing.T) {
+	src := pattern.MustParse("<L>3")
+	if _, ok := ConditionalSplit(src, []string{"abc"}, nil, DefaultOptions()); ok {
+		t.Error("misaligned inputs/wants should fail")
+	}
+	if _, ok := ConditionalSplit(src, nil, nil, DefaultOptions()); ok {
+		t.Error("empty rows should fail")
+	}
+}
+
+func TestGuardTokenIs(t *testing.T) {
+	src := pattern.MustParse("<L>+' '<D>+")
+	g := unifi.TokenIs{I: 1, Value: "picture"}
+	if !g.Holds(src, "picture 001") {
+		t.Error("guard should hold")
+	}
+	if g.Holds(src, "invoice 001") {
+		t.Error("guard should not hold")
+	}
+	if g.Holds(src, "no-match!") {
+		t.Error("guard on non-matching string should not hold")
+	}
+	if (unifi.TokenIs{I: 99, Value: "x"}).Holds(src, "picture 001") {
+		t.Error("out-of-range token index should not hold")
+	}
+}
+
+func TestGuardedProgramLift(t *testing.T) {
+	prog := unifi.Program{Cases: []unifi.Case{{
+		Source: pattern.MustParse("<D>2"),
+		Plan:   unifi.Plan{Ops: []unifi.Op{unifi.Extract{I: 1, J: 1}}},
+	}}}
+	gp := prog.Lift()
+	out, err := gp.Apply("42")
+	if err != nil || out != "42" {
+		t.Errorf("lifted program Apply = %q, %v", out, err)
+	}
+	if _, err := gp.Apply("xx"); err == nil {
+		t.Error("lifted program matched garbage")
+	}
+}

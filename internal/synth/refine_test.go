@@ -1,0 +1,76 @@
+package synth
+
+import (
+	"testing"
+
+	"clx/internal/cluster"
+	"clx/internal/pattern"
+)
+
+// Refine replaces an over-general source with its solvable child patterns.
+func TestRefine(t *testing.T) {
+	data := []string{
+		"John Smith, INRIA, France",
+		"Ada Byron, MIT, USA",
+		"Tom Ford, KTH, Sweden",
+		"INRIA", "MIT",
+	}
+	target := pattern.MustParse("<U>+")
+	h := cluster.Profile(data, cluster.DefaultOptions())
+	res := Synthesize(h, target, DefaultOptions())
+	if len(res.Sources) == 0 {
+		t.Fatal("no sources")
+	}
+	before := len(res.Sources)
+	beforePattern := res.Sources[0].Source
+
+	if err := res.Refine(0); err != nil {
+		t.Fatalf("Refine: %v", err)
+	}
+	if len(res.Sources) < before {
+		t.Errorf("sources shrank from %d to %d", before, len(res.Sources))
+	}
+	for _, s := range res.Sources {
+		if s.Source.Equal(beforePattern) {
+			t.Errorf("refined source %s still present", beforePattern)
+		}
+	}
+	// Every refined source still has ranked plans producing the target.
+	for _, s := range res.Sources {
+		for _, r := range s.Plans {
+			for _, row := range data {
+				if !s.Source.Matches(row) {
+					continue
+				}
+				out, err := r.Plan.Apply(s.Source, row)
+				if err != nil {
+					t.Errorf("refined plan failed on %q: %v", row, err)
+					continue
+				}
+				if !target.Matches(out) {
+					t.Errorf("refined plan output %q does not match target", out)
+				}
+			}
+		}
+	}
+}
+
+func TestRefineErrors(t *testing.T) {
+	data := []string{"12/34", "56-78"}
+	target := pattern.MustParse("<D>2'-'<D>2")
+	res := Synthesize(cluster.Profile(data, cluster.DefaultOptions()), target, DefaultOptions())
+	if err := res.Refine(99); err == nil {
+		t.Error("out-of-range index should error")
+	}
+	// Drill to the bottom: refining repeatedly eventually reaches leaves.
+	fuel := 10
+	for fuel > 0 && len(res.Sources) > 0 {
+		if err := res.Refine(0); err != nil {
+			break // reached a leaf
+		}
+		fuel--
+	}
+	if fuel == 0 {
+		t.Error("refinement did not terminate at leaves")
+	}
+}

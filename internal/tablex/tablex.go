@@ -1,0 +1,152 @@
+// Package tablex is a second instantiation of the CLX paradigm, the one
+// the paper names as future work (§9): "given a set of heterogeneous
+// spreadsheet tables storing the same information from different
+// organizations, CLX can be used to synthesize programs converting all
+// tables into the same standard format."
+//
+// The Cluster–Label–Transform phases lift from strings to tables:
+//
+//   - Cluster: each table is fingerprinted by its Schema — normalized
+//     header names plus the dominant generalized value pattern per column —
+//     and tables with compatible schemas group together;
+//   - Label: the user picks the target table (or schema);
+//   - Transform: for every other table, columns are aligned to the target
+//     by header and value-pattern evidence, and columns whose value
+//     formats differ get a string-level CLX transformation synthesized for
+//     them. Unmappable columns are reported, not guessed.
+package tablex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"clx/internal/cluster"
+	"clx/internal/pattern"
+)
+
+// Table is one spreadsheet-like table.
+type Table struct {
+	// Name identifies the table in reports.
+	Name string
+	// Headers are the column names.
+	Headers []string
+	// Rows hold the cells; every row must have len(Headers) cells.
+	Rows [][]string
+}
+
+// Column returns the values of column j.
+func (t Table) Column(j int) []string {
+	out := make([]string, len(t.Rows))
+	for i, row := range t.Rows {
+		out[i] = row[j]
+	}
+	return out
+}
+
+// Validate checks the table's shape.
+func (t Table) Validate() error {
+	for i, row := range t.Rows {
+		if len(row) != len(t.Headers) {
+			return fmt.Errorf("tablex: table %s row %d has %d cells, want %d",
+				t.Name, i, len(row), len(t.Headers))
+		}
+	}
+	return nil
+}
+
+// Column is one column of a schema fingerprint.
+type SchemaColumn struct {
+	// Header is the normalized column name.
+	Header string
+	// Pattern is the dominant '+'-generalized value pattern.
+	Pattern pattern.Pattern
+	// Coverage is the fraction of values matching Pattern.
+	Coverage float64
+}
+
+// Schema is a table's structural fingerprint.
+type Schema struct {
+	Columns []SchemaColumn
+}
+
+// String renders the schema compactly.
+func (s Schema) String() string {
+	parts := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		parts[i] = fmt.Sprintf("%s:%s", c.Header, c.Pattern)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// normalizeHeader lowercases and strips non-alphanumeric characters.
+func normalizeHeader(h string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(h)) {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// SchemaOf fingerprints a table: per column, the most common
+// '+'-generalized value pattern among non-empty cells.
+func SchemaOf(t Table) Schema {
+	s := Schema{Columns: make([]SchemaColumn, len(t.Headers))}
+	for j, h := range t.Headers {
+		col := SchemaColumn{Header: normalizeHeader(h)}
+		counts := map[string]int{}
+		pats := map[string]pattern.Pattern{}
+		total := 0
+		for _, v := range t.Column(j) {
+			if v == "" {
+				continue
+			}
+			total++
+			p := cluster.Generalize(pattern.FromString(v), cluster.QuantToPlus)
+			counts[p.Key()]++
+			pats[p.Key()] = p
+		}
+		bestKey, best := "", 0
+		for k, n := range counts {
+			if n > best || (n == best && k < bestKey) {
+				bestKey, best = k, n
+			}
+		}
+		if total > 0 {
+			col.Pattern = pats[bestKey]
+			col.Coverage = float64(best) / float64(total)
+		}
+		s.Columns[j] = col
+	}
+	return s
+}
+
+// ClusterTables groups tables whose schemas describe the same information:
+// identical normalized header multisets, order-insensitive. Groups keep
+// first-seen order.
+func ClusterTables(tables []Table) [][]int {
+	key := func(t Table) string {
+		hs := make([]string, len(t.Headers))
+		for i, h := range t.Headers {
+			hs[i] = normalizeHeader(h)
+		}
+		sort.Strings(hs)
+		return strings.Join(hs, "\x00")
+	}
+	byKey := map[string][]int{}
+	var order []string
+	for i, t := range tables {
+		k := key(t)
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], i)
+	}
+	out := make([][]int, 0, len(order))
+	for _, k := range order {
+		out = append(out, byKey[k])
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package tablex
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Three organizations' contact tables: different column orders, header
+// spellings, and value formats.
+func orgTables() []Table {
+	return []Table{
+		{
+			Name:    "org-a",
+			Headers: []string{"Name", "Phone", "City"},
+			Rows: [][]string{
+				{"Eran Yahav", "734-645-8397", "Ann Arbor"},
+				{"Kate Fisher", "313-263-1192", "Detroit"},
+				{"Bill Gates", "425-555-0100", "Seattle"},
+			},
+		},
+		{
+			Name:    "org-b",
+			Headers: []string{"phone", "name", "city"},
+			Rows: [][]string{
+				{"(734) 645-0001", "Rosa Cole", "Lansing"},
+				{"(517) 555-2222", "Omar Sy", "Flint"},
+				{"(313) 444-3333", "Amy Tan", "Warren"},
+			},
+		},
+		{
+			Name:    "org-c",
+			Headers: []string{"Name", "City", "Phone "},
+			Rows: [][]string{
+				{"Max Koch", "Novi", "734.555.1234"},
+				{"Ada Diaz", "Troy", "248.555.8888"},
+				{"Leo Cruz", "Saline", "734.555.9999"},
+			},
+		},
+	}
+}
+
+func TestSchemaOf(t *testing.T) {
+	s := SchemaOf(orgTables()[0])
+	if len(s.Columns) != 3 {
+		t.Fatalf("columns = %d", len(s.Columns))
+	}
+	if s.Columns[0].Header != "name" || s.Columns[1].Header != "phone" {
+		t.Errorf("headers = %v", s.Columns)
+	}
+	if got := s.Columns[1].Pattern.String(); got != "<D>+'-'<D>+'-'<D>+" {
+		t.Errorf("phone pattern = %s", got)
+	}
+	if s.Columns[1].Coverage != 1 {
+		t.Errorf("coverage = %v", s.Columns[1].Coverage)
+	}
+}
+
+func TestSchemaOfMixedColumn(t *testing.T) {
+	tb := Table{
+		Headers: []string{"v"},
+		Rows:    [][]string{{"123"}, {"456"}, {"abc"}, {""}},
+	}
+	s := SchemaOf(tb)
+	if got := s.Columns[0].Pattern.String(); got != "<D>+" {
+		t.Errorf("dominant pattern = %s", got)
+	}
+	// Empty cells excluded: 2 of 3 non-empty match.
+	if s.Columns[0].Coverage < 0.6 || s.Columns[0].Coverage > 0.7 {
+		t.Errorf("coverage = %v", s.Columns[0].Coverage)
+	}
+}
+
+func TestClusterTables(t *testing.T) {
+	tables := orgTables()
+	tables = append(tables, Table{
+		Name:    "inventory",
+		Headers: []string{"sku", "qty"},
+		Rows:    [][]string{{"A-1", "4"}},
+	})
+	groups := ClusterTables(tables)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if !reflect.DeepEqual(groups[0], []int{0, 1, 2}) {
+		t.Errorf("contact group = %v", groups[0])
+	}
+	if !reflect.DeepEqual(groups[1], []int{3}) {
+		t.Errorf("inventory group = %v", groups[1])
+	}
+}
+
+func TestAlignTables(t *testing.T) {
+	tables := orgTables()
+	m := AlignTables(tables[1], tables[0])
+	if len(m.Columns) != 3 {
+		t.Fatalf("mapped columns = %d (%+v)", len(m.Columns), m)
+	}
+	// org-b's column order is phone,name,city; target is name,phone,city.
+	want := map[int]int{0: 1, 1: 0, 2: 2} // src -> dst
+	for _, cm := range m.Columns {
+		if want[cm.Src] != cm.Dst {
+			t.Errorf("column %d mapped to %d, want %d", cm.Src, cm.Dst, want[cm.Src])
+		}
+		if cm.Score <= 0 {
+			t.Errorf("column %d score %v", cm.Src, cm.Score)
+		}
+	}
+	if len(m.UnmappedTarget) != 0 || len(m.DroppedSource) != 0 {
+		t.Errorf("unmapped=%v dropped=%v", m.UnmappedTarget, m.DroppedSource)
+	}
+}
+
+func TestTransformTable(t *testing.T) {
+	tables := orgTables()
+	out, m, flagged, err := TransformTable(tables[1], tables[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Headers, tables[0].Headers) {
+		t.Errorf("headers = %v", out.Headers)
+	}
+	wantRows := [][]string{
+		{"Rosa Cole", "734-645-0001", "Lansing"},
+		{"Omar Sy", "517-555-2222", "Flint"},
+		{"Amy Tan", "313-444-3333", "Warren"},
+	}
+	if !reflect.DeepEqual(out.Rows, wantRows) {
+		t.Errorf("rows = %v, want %v", out.Rows, wantRows)
+	}
+	if len(flagged) != 0 {
+		t.Errorf("flagged = %v", flagged)
+	}
+	// The phone column carries a synthesized transformation; name and city
+	// do not.
+	for _, cm := range m.Columns {
+		if cm.Dst == 1 && cm.Transform == nil {
+			t.Error("phone column should carry a transformation")
+		}
+		if cm.Dst == 0 && cm.Transform != nil {
+			t.Error("name column should not need a transformation")
+		}
+	}
+}
+
+func TestUnify(t *testing.T) {
+	tables := orgTables()
+	out, _, err := Unify(tables, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tb := range out {
+		if !reflect.DeepEqual(tb.Headers, tables[0].Headers) {
+			t.Errorf("table %d headers = %v", i, tb.Headers)
+		}
+		// Every phone lands in the target's dash format.
+		s := SchemaOf(tb)
+		if got := s.Columns[1].Pattern.String(); got != "<D>+'-'<D>+'-'<D>+" {
+			t.Errorf("table %d phone pattern = %s", i, got)
+		}
+	}
+	if _, _, err := Unify(tables, 99); err == nil {
+		t.Error("bad target index should error")
+	}
+}
+
+func TestTransformTableUnmappable(t *testing.T) {
+	src := Table{
+		Name:    "weird",
+		Headers: []string{"zzz"},
+		Rows:    [][]string{{"???"}},
+	}
+	dst := orgTables()[0]
+	out, m, _, err := TransformTable(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Columns) != 0 || len(m.DroppedSource) != 1 || len(m.UnmappedTarget) != 3 {
+		t.Errorf("mapping = %+v", m)
+	}
+	for _, row := range out.Rows {
+		for _, cell := range row {
+			if cell != "" {
+				t.Errorf("unmapped cells should be empty, got %q", cell)
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := Table{Headers: []string{"a", "b"}, Rows: [][]string{{"only one"}}}
+	if bad.Validate() == nil {
+		t.Error("ragged table should fail validation")
+	}
+	if _, _, _, err := TransformTable(bad, orgTables()[0]); err == nil {
+		t.Error("TransformTable should reject ragged input")
+	}
+}
+
+func TestNormalizeHeader(t *testing.T) {
+	cases := map[string]string{
+		" Phone ":   "phone",
+		"PHONE_NUM": "phonenum",
+		"e-mail":    "email",
+		"":          "",
+	}
+	for in, want := range cases {
+		if got := normalizeHeader(in); got != want {
+			t.Errorf("normalizeHeader(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package token
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		Digit:    "<D>",
+		Lower:    "<L>",
+		Upper:    "<U>",
+		Alpha:    "<A>",
+		AlphaNum: "<AN>",
+		Literal:  "literal",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestClassCharSet(t *testing.T) {
+	cases := map[Class]string{
+		Digit:    "[0-9]",
+		Lower:    "[a-z]",
+		Upper:    "[A-Z]",
+		Alpha:    "[a-zA-Z]",
+		AlphaNum: "[a-zA-Z0-9 _-]",
+	}
+	for c, want := range cases {
+		if got := c.CharSet(); got != want {
+			t.Errorf("%v.CharSet() = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestClassContains(t *testing.T) {
+	tests := []struct {
+		c   Class
+		in  string
+		out string
+	}{
+		{Digit, "0359", "aA -_."},
+		{Lower, "az", "AZ09 -."},
+		{Upper, "AZ", "az09 -."},
+		{Alpha, "azAZ", "09 -._"},
+		{AlphaNum, "azAZ09 -_", ".@/()"},
+		{Literal, "", "aA0 -."},
+	}
+	for _, tc := range tests {
+		for _, r := range tc.in {
+			if !tc.c.Contains(r) {
+				t.Errorf("%v.Contains(%q) = false, want true", tc.c, r)
+			}
+		}
+		for _, r := range tc.out {
+			if tc.c.Contains(r) {
+				t.Errorf("%v.Contains(%q) = true, want false", tc.c, r)
+			}
+		}
+	}
+}
+
+func TestGeneralizes(t *testing.T) {
+	trues := [][2]Class{
+		{Alpha, Lower}, {Alpha, Upper}, {Alpha, Alpha},
+		{AlphaNum, Lower}, {AlphaNum, Upper}, {AlphaNum, Digit},
+		{AlphaNum, Alpha}, {AlphaNum, AlphaNum},
+		{Digit, Digit}, {Lower, Lower}, {Upper, Upper},
+	}
+	falses := [][2]Class{
+		{Lower, Alpha}, {Upper, Alpha}, {Digit, AlphaNum},
+		{Alpha, Digit}, {Alpha, AlphaNum}, {Lower, Upper},
+		{Digit, Lower},
+	}
+	for _, p := range trues {
+		if !p[0].Generalizes(p[1]) {
+			t.Errorf("%v.Generalizes(%v) = false, want true", p[0], p[1])
+		}
+	}
+	for _, p := range falses {
+		if p[0].Generalizes(p[1]) {
+			t.Errorf("%v.Generalizes(%v) = true, want false", p[0], p[1])
+		}
+	}
+}
+
+// Property: Generalizes is consistent with Contains — if c generalizes d,
+// every rune in d's charset is in c's charset.
+func TestGeneralizesImpliesContains(t *testing.T) {
+	classes := []Class{Digit, Lower, Upper, Alpha, AlphaNum}
+	for _, c := range classes {
+		for _, d := range classes {
+			if !c.Generalizes(d) {
+				continue
+			}
+			for r := rune(0); r < 128; r++ {
+				if d.Contains(r) && !c.Contains(r) {
+					t.Errorf("%v generalizes %v but lacks %q", c, d, r)
+				}
+			}
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tests := []struct {
+		tok  Token
+		want string
+	}{
+		{Base(Digit, 3), "<D>3"},
+		{Base(Digit, 1), "<D>"},
+		{Base(Lower, Plus), "<L>+"},
+		{Lit("@"), "'@'"},
+		{Lit("Dr."), "'Dr.'"},
+		{Token{Class: Literal, Lit: "ab", Quant: 2}, "'ab'2"},
+		{Token{Class: Literal, Lit: "-", Quant: Plus}, "'-'+"},
+	}
+	for _, tc := range tests {
+		if got := tc.tok.String(); got != tc.want {
+			t.Errorf("%#v.String() = %q, want %q", tc.tok, got, tc.want)
+		}
+	}
+}
+
+func TestSyntacticallySimilar(t *testing.T) {
+	tests := []struct {
+		a, b Token
+		want bool
+	}{
+		{Base(Digit, 3), Base(Digit, 3), true},
+		{Base(Digit, 3), Base(Digit, Plus), true},
+		{Base(Digit, Plus), Base(Digit, 3), true},
+		{Base(Digit, Plus), Base(Digit, Plus), true},
+		{Base(Digit, 3), Base(Digit, 4), false},
+		{Base(Digit, 3), Base(Lower, 3), false},
+		{Lit("-"), Lit("-"), true},
+		{Lit("-"), Lit("."), false},
+		{Lit("-"), Base(Digit, 1), false},
+	}
+	for _, tc := range tests {
+		if got := SyntacticallySimilar(tc.a, tc.b); got != tc.want {
+			t.Errorf("SyntacticallySimilar(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestMinLenFixedLen(t *testing.T) {
+	tests := []struct {
+		tok      Token
+		min      int
+		fixed    int
+		hasFixed bool
+	}{
+		{Base(Digit, 3), 3, 3, true},
+		{Base(Digit, Plus), 1, 0, false},
+		{Lit("ab"), 2, 2, true},
+		{Token{Class: Literal, Lit: "ab", Quant: 3}, 6, 6, true},
+		{Token{Class: Literal, Lit: "ab", Quant: Plus}, 2, 0, false},
+	}
+	for _, tc := range tests {
+		if got := tc.tok.MinLen(); got != tc.min {
+			t.Errorf("%v.MinLen() = %d, want %d", tc.tok, got, tc.min)
+		}
+		f, ok := tc.tok.FixedLen()
+		if ok != tc.hasFixed || (ok && f != tc.fixed) {
+			t.Errorf("%v.FixedLen() = %d,%v, want %d,%v", tc.tok, f, ok, tc.fixed, tc.hasFixed)
+		}
+	}
+}
+
+func TestExpand(t *testing.T) {
+	if got := (Token{Class: Literal, Lit: "ab", Quant: 2}).Expand(); got != "abab" {
+		t.Errorf("Expand() = %q, want %q", got, "abab")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Expand on base token did not panic")
+		}
+	}()
+	Base(Digit, 2).Expand()
+}
+
+func TestEscapeRegex(t *testing.T) {
+	tests := map[string]string{
+		"abc":    "abc",
+		"(a)":    `\(a\)`,
+		".+*?":   `\.\+\*\?`,
+		"a|b":    `a\|b`,
+		"[x]{2}": `\[x\]\{2\}`,
+		`\`:      `\\`,
+		"^$":     `\^\$`,
+	}
+	for in, want := range tests {
+		if got := EscapeRegex(in); got != want {
+			t.Errorf("EscapeRegex(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTokenRegex(t *testing.T) {
+	tests := []struct {
+		tok  Token
+		want string
+	}{
+		{Base(Digit, 3), "[0-9]{3}"},
+		{Base(Digit, 1), "[0-9]"},
+		{Base(Lower, Plus), "[a-z]+"},
+		{Lit("("), `\(`},
+		{Lit("Dr."), `(?:Dr\.)`},
+		{Token{Class: Literal, Lit: "ab", Quant: 2}, `(?:ab){2}`},
+	}
+	for _, tc := range tests {
+		if got := tc.tok.Regex(); got != tc.want {
+			t.Errorf("%v.Regex() = %q, want %q", tc.tok, got, tc.want)
+		}
+	}
+}
+
+func TestTokenNLRegex(t *testing.T) {
+	tests := []struct {
+		tok  Token
+		want string
+	}{
+		{Base(Digit, 3), "{digit}{3}"},
+		{Base(Upper, 1), "{upper}"},
+		{Base(AlphaNum, Plus), "{alnum}+"},
+		{Lit("-"), `\-`},
+	}
+	for _, tc := range tests {
+		if got := tc.tok.NLRegex(); got != tc.want {
+			t.Errorf("%v.NLRegex() = %q, want %q", tc.tok, got, tc.want)
+		}
+	}
+}
+
+// Property: escaping never changes the unescaped character content.
+func TestEscapeRegexPreservesContent(t *testing.T) {
+	f := func(s string) bool {
+		esc := EscapeRegex(s)
+		return strings.ReplaceAll(esc, `\`, "") ==
+			strings.ReplaceAll(s, `\`, "")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Base(Literal)": func() { Base(Literal, 1) },
+		"Lit empty":     func() { Lit("") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

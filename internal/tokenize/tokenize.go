@@ -1,0 +1,68 @@
+// Package tokenize implements the tokenization phase of CLX pattern
+// profiling (paper §4.1): a string is split into maximal runs of characters
+// of the most precise base class, with every non-alphanumeric character
+// emitted as an individual literal token.
+package tokenize
+
+import (
+	"unicode/utf8"
+
+	"clx/internal/token"
+)
+
+// Tokenize splits s into the initial token sequence following the rules of
+// §4.1:
+//
+//   - each non-alphanumeric character is an individual literal token;
+//   - maximal runs of digits, lowercase, or uppercase letters become base
+//     tokens of the most precise class (digit, lower, upper);
+//   - quantifiers are always natural numbers (the run length).
+//
+// For example, "Bob123@gmail.com" tokenizes to
+// [<U>, <L>2, <D>3, '@', <L>5, '.', <L>3]. The empty string yields nil.
+//
+// Non-ASCII characters become individual literal tokens carrying their
+// exact bytes; an invalid UTF-8 byte becomes a one-byte literal, so the
+// derived pattern always matches the source string byte for byte.
+func Tokenize(s string) []token.Token {
+	var out []token.Token
+	for i := 0; i < len(s); {
+		b := s[i]
+		if b < 0x80 {
+			c := classify(rune(b))
+			if c == token.Literal {
+				out = append(out, token.Lit(s[i:i+1]))
+				i++
+				continue
+			}
+			j := i + 1
+			for j < len(s) && s[j] < 0x80 && classify(rune(s[j])) == c {
+				j++
+			}
+			out = append(out, token.Base(c, j-i))
+			i = j
+			continue
+		}
+		_, size := utf8.DecodeRuneInString(s[i:])
+		// A valid multi-byte rune keeps its bytes together; an invalid
+		// byte (size 1) is kept verbatim.
+		out = append(out, token.Lit(s[i:i+size]))
+		i += size
+	}
+	return out
+}
+
+// classify returns the most precise base class describing r, or
+// token.Literal when r is not alphanumeric.
+func classify(r rune) token.Class {
+	switch {
+	case r >= '0' && r <= '9':
+		return token.Digit
+	case r >= 'a' && r <= 'z':
+		return token.Lower
+	case r >= 'A' && r <= 'Z':
+		return token.Upper
+	default:
+		return token.Literal
+	}
+}

@@ -1,0 +1,188 @@
+package tokenize
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"clx/internal/token"
+)
+
+func pat(toks ...token.Token) []token.Token { return toks }
+
+func TestTokenizeExamples(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []token.Token
+	}{
+		// Paper Example 3.
+		{"Bob123@gmail.com", pat(
+			token.Base(token.Upper, 1), token.Base(token.Lower, 2),
+			token.Base(token.Digit, 3), token.Lit("@"),
+			token.Base(token.Lower, 5), token.Lit("."),
+			token.Base(token.Lower, 3),
+		)},
+		{"(734) 645-8397", pat(
+			token.Lit("("), token.Base(token.Digit, 3), token.Lit(")"),
+			token.Lit(" "), token.Base(token.Digit, 3), token.Lit("-"),
+			token.Base(token.Digit, 4),
+		)},
+		{"734.236.3466", pat(
+			token.Base(token.Digit, 3), token.Lit("."),
+			token.Base(token.Digit, 3), token.Lit("."),
+			token.Base(token.Digit, 4),
+		)},
+		{"CPT-00350", pat(
+			token.Base(token.Upper, 3), token.Lit("-"),
+			token.Base(token.Digit, 5),
+		)},
+		{"N/A", pat(
+			token.Base(token.Upper, 1), token.Lit("/"),
+			token.Base(token.Upper, 1),
+		)},
+		{"", nil},
+		{"   ", pat(token.Lit(" "), token.Lit(" "), token.Lit(" "))},
+		{"a1A", pat(
+			token.Base(token.Lower, 1), token.Base(token.Digit, 1),
+			token.Base(token.Upper, 1),
+		)},
+	}
+	for _, tc := range tests {
+		got := Tokenize(tc.in)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTokenizeNonASCII(t *testing.T) {
+	// Non-ASCII runes become individual literal tokens.
+	got := Tokenize("aé")
+	want := pat(token.Base(token.Lower, 1), token.Lit("é"))
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize(aé) = %v, want %v", got, want)
+	}
+}
+
+// Property: concatenating the matched content of the tokens reconstructs the
+// input — i.e. tokenization is lossless on content length and order.
+func TestTokenizeLossless(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		n := 0
+		for _, tk := range toks {
+			if l, ok := tk.FixedLen(); ok {
+				n += l
+			} else {
+				return false // tokenizer never emits '+'
+			}
+		}
+		return n == len(s)
+	}
+	cfg := &quick.Config{Values: func(v []reflect.Value, r *rand.Rand) {
+		// ASCII-heavy strings exercise the class logic better than
+		// arbitrary unicode.
+		n := r.Intn(30)
+		b := make([]byte, n)
+		const alphabet = "abcXYZ019 -_.@/()"
+		for i := range b {
+			b[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		v[0] = reflect.ValueOf(string(b))
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adjacent base tokens never share a class (runs are maximal), and
+// quantifiers are always natural numbers.
+func TestTokenizeMaximalRuns(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		for i, tk := range toks {
+			if tk.Quant < 1 {
+				return false
+			}
+			if i > 0 && !tk.IsLiteral() && toks[i-1].Class == tk.Class {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every emitted base token's content characters belong to the
+// token's class, checked by re-deriving spans from fixed lengths.
+func TestTokenizeClassesCorrect(t *testing.T) {
+	check := func(s string) bool {
+		toks := Tokenize(s)
+		pos := 0
+		for _, tk := range toks {
+			l, _ := tk.FixedLen()
+			seg := s[pos : pos+l]
+			if tk.IsLiteral() {
+				if seg != tk.Expand() {
+					return false
+				}
+			} else {
+				for _, r := range seg {
+					if !tk.Class.Contains(r) {
+						return false
+					}
+				}
+			}
+			pos += l
+		}
+		return true
+	}
+	for _, s := range []string{
+		"Bob123@gmail.com", "(734) 645-8397", "N/A", "Dr. Eran Yahav",
+		"[CPT-11536]", "155 Main St, San Diego, CA 92173",
+	} {
+		if !check(s) {
+			t.Errorf("class mismatch tokenizing %q", s)
+		}
+	}
+}
+
+func TestTokenizeRunBoundaries(t *testing.T) {
+	// Case transitions split runs; class transitions split runs; repeats
+	// of the same punctuation stay separate tokens.
+	tests := []struct {
+		in   string
+		want string
+	}{
+		{"aaBB", "<L>2<U>2"},
+		{"a1b2", "<L><D><L><D>"},
+		{"--", "'-''-'"},
+		{"a  b", "<L>' '' '<L>"},
+		{"A", "<U>"},
+		{"2019years", "<D>4<L>5"},
+	}
+	for _, tc := range tests {
+		var got string
+		for _, tk := range Tokenize(tc.in) {
+			got += tk.String()
+		}
+		if got != tc.want {
+			t.Errorf("Tokenize(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTokenizeInvalidUTF8(t *testing.T) {
+	// Each invalid byte is its own literal; valid multi-byte runes stay
+	// whole.
+	toks := Tokenize("\xffé\xfe")
+	if len(toks) != 3 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[0].Lit != "\xff" || toks[1].Lit != "é" || toks[2].Lit != "\xfe" {
+		t.Errorf("tokens = %q %q %q", toks[0].Lit, toks[1].Lit, toks[2].Lit)
+	}
+}

@@ -1,0 +1,66 @@
+// Compiled programs: a UniFi Switch prepared for applying to many rows.
+// Each case's source pattern is compiled once (quick rejects + pooled
+// matcher state) and plans are evaluated directly over the match spans.
+package unifi
+
+import (
+	"fmt"
+	"strings"
+
+	"clx/internal/rematch"
+)
+
+// CompiledProgram is a Program prepared for repeated application. It is
+// safe for concurrent use.
+type CompiledProgram struct {
+	cases []compiledCase
+}
+
+type compiledCase struct {
+	matcher *rematch.Compiled
+	plan    Plan
+}
+
+// Compile prepares the program for repeated application.
+func (pr Program) Compile() *CompiledProgram {
+	cp := &CompiledProgram{cases: make([]compiledCase, len(pr.Cases))}
+	for i, c := range pr.Cases {
+		cp.cases[i] = compiledCase{
+			matcher: rematch.Compile(c.Source.Tokens()),
+			plan:    c.Plan,
+		}
+	}
+	return cp
+}
+
+// Apply transforms s with the first matching case, like Program.Apply.
+func (cp *CompiledProgram) Apply(s string) (string, error) {
+	for _, c := range cp.cases {
+		spans, ok := c.matcher.Match(s)
+		if !ok {
+			continue
+		}
+		return c.plan.applySpans(s, spans)
+	}
+	return "", ErrNoMatch
+}
+
+// applySpans evaluates the plan over precomputed match spans.
+func (p Plan) applySpans(s string, spans []rematch.Span) (string, error) {
+	var b strings.Builder
+	for _, op := range p.Ops {
+		switch op := op.(type) {
+		case ConstStr:
+			b.WriteString(op.S)
+		case Extract:
+			if op.I < 1 || op.J > len(spans) || op.I > op.J {
+				return "", fmt.Errorf("unifi: Extract(%d,%d) out of range for source of %d tokens",
+					op.I, op.J, len(spans))
+			}
+			b.WriteString(s[spans[op.I-1].Start:spans[op.J-1].End])
+		default:
+			return "", fmt.Errorf("unifi: unknown operator %T", op)
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,94 @@
+// Content-conditional guards: the UniFi extension sketched in paper §7.4
+// ("Example 13 requires the inference of advanced conditionals … adding
+// support for these conditionals in UniFi is straightforward"). A guard
+// refines a Switch case's Match predicate with a condition on the matched
+// content, so two cases can share a source pattern and dispatch on a
+// keyword — e.g. rows shaped <L>+' '<D>3 where the word is "picture"
+// versus "invoice".
+package unifi
+
+import (
+	"fmt"
+
+	"clx/internal/pattern"
+)
+
+// Guard is an optional content condition on a Switch case.
+type Guard interface {
+	fmt.Stringer
+	// Holds reports whether the condition is met for s, which is known to
+	// match source exactly.
+	Holds(source pattern.Pattern, s string) bool
+}
+
+// TokenIs holds when the I-th token (1-based) of the matched string equals
+// Value — the structured form of a "contains keyword" conditional.
+type TokenIs struct {
+	I     int
+	Value string
+}
+
+// Holds implements Guard.
+func (g TokenIs) Holds(source pattern.Pattern, s string) bool {
+	spans, ok := source.Match(s)
+	if !ok || g.I < 1 || g.I > len(spans) {
+		return false
+	}
+	return s[spans[g.I-1].Start:spans[g.I-1].End] == g.Value
+}
+
+// String renders the guard as shown to the user.
+func (g TokenIs) String() string { return fmt.Sprintf("token %d is %q", g.I, g.Value) }
+
+// GuardedCase is a Switch case with an optional content guard.
+type GuardedCase struct {
+	Source pattern.Pattern
+	Guard  Guard // nil means unconditional
+	Plan   Plan
+}
+
+// GuardedProgram is a UniFi program whose cases may carry content guards;
+// cases are tried in order and the first whose pattern matches and guard
+// holds wins. A plain Program is the special case with all guards nil.
+type GuardedProgram struct {
+	Cases []GuardedCase
+}
+
+// Apply transforms s with the first applicable case.
+func (gp GuardedProgram) Apply(s string) (string, error) {
+	for _, c := range gp.Cases {
+		if !c.Source.Matches(s) {
+			continue
+		}
+		if c.Guard != nil && !c.Guard.Holds(c.Source, s) {
+			continue
+		}
+		return c.Plan.Apply(c.Source, s)
+	}
+	return "", ErrNoMatch
+}
+
+// String renders the program, guards included.
+func (gp GuardedProgram) String() string {
+	out := "Switch("
+	for i, c := range gp.Cases {
+		if i > 0 {
+			out += ",\n       "
+		}
+		cond := fmt.Sprintf("Match(%q)", c.Source.String())
+		if c.Guard != nil {
+			cond += " && " + c.Guard.String()
+		}
+		out += fmt.Sprintf("(%s, %s)", cond, c.Plan.String())
+	}
+	return out + ")"
+}
+
+// Lift converts a plain Program into a GuardedProgram.
+func (pr Program) Lift() GuardedProgram {
+	gp := GuardedProgram{Cases: make([]GuardedCase, len(pr.Cases))}
+	for i, c := range pr.Cases {
+		gp.Cases[i] = GuardedCase{Source: c.Source, Plan: c.Plan}
+	}
+	return gp
+}

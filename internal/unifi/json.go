@@ -1,0 +1,207 @@
+// JSON serialization for UniFi programs, so a verified transformation can
+// be saved and applied later (or elsewhere) without re-synthesis.
+//
+// Wire format:
+//
+//	{"cases": [
+//	  {"source": "'('<D>3')'' '<D>3'-'<D>4",
+//	   "guard": {"token": 1, "value": "picture"},      // optional
+//	   "plan": [
+//	     {"op": "extract", "i": 2, "j": 2},
+//	     {"op": "const", "s": "-"}
+//	   ]}
+//	]}
+//
+// Source patterns use the compact notation (Pattern.String / Parse).
+package unifi
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"clx/internal/pattern"
+)
+
+type opJSON struct {
+	Op string `json:"op"`
+	S  string `json:"s,omitempty"`
+	I  int    `json:"i,omitempty"`
+	J  int    `json:"j,omitempty"`
+}
+
+type guardJSON struct {
+	Token int    `json:"token"`
+	Value string `json:"value"`
+}
+
+type caseJSON struct {
+	Source string     `json:"source"`
+	Guard  *guardJSON `json:"guard,omitempty"`
+	Plan   []opJSON   `json:"plan"`
+}
+
+type programJSON struct {
+	Cases []caseJSON `json:"cases"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p Plan) MarshalJSON() ([]byte, error) {
+	ops := make([]opJSON, len(p.Ops))
+	for i, op := range p.Ops {
+		switch op := op.(type) {
+		case ConstStr:
+			ops[i] = opJSON{Op: "const", S: op.S}
+		case Extract:
+			ops[i] = opJSON{Op: "extract", I: op.I, J: op.J}
+		default:
+			return nil, fmt.Errorf("unifi: cannot marshal operator %T", op)
+		}
+	}
+	return json.Marshal(ops)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Plan) UnmarshalJSON(data []byte) error {
+	var ops []opJSON
+	if err := json.Unmarshal(data, &ops); err != nil {
+		return err
+	}
+	p.Ops = nil
+	for _, o := range ops {
+		switch o.Op {
+		case "const":
+			p.Ops = append(p.Ops, ConstStr{S: o.S})
+		case "extract":
+			if o.I < 1 || o.J < o.I {
+				return fmt.Errorf("unifi: bad extract range (%d,%d)", o.I, o.J)
+			}
+			p.Ops = append(p.Ops, Extract{I: o.I, J: o.J})
+		default:
+			return fmt.Errorf("unifi: unknown operator %q", o.Op)
+		}
+	}
+	return nil
+}
+
+func caseToJSON(source pattern.Pattern, guard Guard, plan Plan) (caseJSON, error) {
+	cj := caseJSON{Source: source.String()}
+	if guard != nil {
+		ti, ok := guard.(TokenIs)
+		if !ok {
+			return caseJSON{}, fmt.Errorf("unifi: cannot marshal guard %T", guard)
+		}
+		cj.Guard = &guardJSON{Token: ti.I, Value: ti.Value}
+	}
+	raw, err := plan.MarshalJSON()
+	if err != nil {
+		return caseJSON{}, err
+	}
+	var ops []opJSON
+	if err := json.Unmarshal(raw, &ops); err != nil {
+		return caseJSON{}, err
+	}
+	cj.Plan = ops
+	return cj, nil
+}
+
+func caseFromJSON(cj caseJSON) (pattern.Pattern, Guard, Plan, error) {
+	src, err := pattern.Parse(cj.Source)
+	if err != nil {
+		return pattern.Pattern{}, nil, Plan{}, err
+	}
+	var plan Plan
+	raw, err := json.Marshal(cj.Plan)
+	if err != nil {
+		return pattern.Pattern{}, nil, Plan{}, err
+	}
+	if err := plan.UnmarshalJSON(raw); err != nil {
+		return pattern.Pattern{}, nil, Plan{}, err
+	}
+	if err := checkPlanRange(plan, src); err != nil {
+		return pattern.Pattern{}, nil, Plan{}, err
+	}
+	var guard Guard
+	if cj.Guard != nil {
+		if cj.Guard.Token < 1 || cj.Guard.Token > src.Len() {
+			return pattern.Pattern{}, nil, Plan{}, fmt.Errorf(
+				"unifi: guard token %d out of range for source of %d tokens",
+				cj.Guard.Token, src.Len())
+		}
+		guard = TokenIs{I: cj.Guard.Token, Value: cj.Guard.Value}
+	}
+	return src, guard, plan, nil
+}
+
+func checkPlanRange(p Plan, src pattern.Pattern) error {
+	for _, op := range p.Ops {
+		if e, ok := op.(Extract); ok && e.J > src.Len() {
+			return fmt.Errorf("unifi: extract (%d,%d) exceeds source of %d tokens",
+				e.I, e.J, src.Len())
+		}
+	}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (pr Program) MarshalJSON() ([]byte, error) {
+	out := programJSON{Cases: make([]caseJSON, len(pr.Cases))}
+	for i, c := range pr.Cases {
+		cj, err := caseToJSON(c.Source, nil, c.Plan)
+		if err != nil {
+			return nil, err
+		}
+		out.Cases[i] = cj
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. Guarded cases are rejected;
+// use GuardedProgram for those.
+func (pr *Program) UnmarshalJSON(data []byte) error {
+	var in programJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	pr.Cases = nil
+	for _, cj := range in.Cases {
+		src, guard, plan, err := caseFromJSON(cj)
+		if err != nil {
+			return err
+		}
+		if guard != nil {
+			return fmt.Errorf("unifi: guarded case in plain Program; use GuardedProgram")
+		}
+		pr.Cases = append(pr.Cases, Case{Source: src, Plan: plan})
+	}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (gp GuardedProgram) MarshalJSON() ([]byte, error) {
+	out := programJSON{Cases: make([]caseJSON, len(gp.Cases))}
+	for i, c := range gp.Cases {
+		cj, err := caseToJSON(c.Source, c.Guard, c.Plan)
+		if err != nil {
+			return nil, err
+		}
+		out.Cases[i] = cj
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (gp *GuardedProgram) UnmarshalJSON(data []byte) error {
+	var in programJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	gp.Cases = nil
+	for _, cj := range in.Cases {
+		src, guard, plan, err := caseFromJSON(cj)
+		if err != nil {
+			return err
+		}
+		gp.Cases = append(gp.Cases, GuardedCase{Source: src, Guard: guard, Plan: plan})
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+// Simulated participants. The paper's studies had nine human participants;
+// individual pace varies, the claimed effects must not depend on one
+// calibration point. Participants generates nine deterministic cost
+// profiles spread around the defaults (fast readers, slow typists, …) so
+// the experiments can report means and check that the growth shapes hold
+// for every profile.
+package userstudy
+
+import (
+	"math/rand"
+)
+
+// NumParticipants matches the paper's study size.
+const NumParticipants = 9
+
+// Participants returns n cost profiles. Profile 0 is DefaultCosts; the
+// rest scale each per-action constant by a deterministic factor in
+// [0.6, 1.6].
+func Participants(n int) []Costs {
+	out := make([]Costs, 0, n)
+	r := rand.New(rand.NewSource(1909)) // the year of the first wrangler
+	for i := 0; i < n; i++ {
+		c := DefaultCosts()
+		if i > 0 {
+			f := func() float64 { return 0.6 + r.Float64() }
+			c.ReadRecord *= f()
+			c.ReadPattern *= f()
+			c.Orient *= f()
+			c.TypeExample *= f()
+			c.SelectTarget *= f()
+			c.VerifyPlan *= f()
+			c.RepairPlan *= f()
+			c.WriteRegex *= f()
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// PanelResult aggregates one study case over the participant panel.
+type PanelResult struct {
+	Case StudyCase
+	// Mean totals and verification times per system (RR, FF, CLX order).
+	MeanTotal  [3]float64
+	MeanVerify [3]float64
+}
+
+// RunVerificationPanel runs the §7.2 study once per participant and
+// averages. The interaction traces are identical across participants (they
+// come from the synthesizers); only the per-action seconds differ.
+func RunVerificationPanel(n int) []PanelResult {
+	panel := Participants(n)
+	var out []PanelResult
+	for ci, sc := range StudyCases() {
+		pr := PanelResult{Case: sc}
+		for _, costs := range panel {
+			res := RunVerificationStudy(costs)[ci]
+			for si, s := range res.Sessions() {
+				pr.MeanTotal[si] += s.Total()
+				pr.MeanVerify[si] += s.VerificationTime()
+			}
+		}
+		for si := range pr.MeanTotal {
+			pr.MeanTotal[si] /= float64(len(panel))
+			pr.MeanVerify[si] /= float64(len(panel))
+		}
+		out = append(out, pr)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package userstudy
+
+import (
+	"testing"
+)
+
+func TestParticipantsDeterministicAndSpread(t *testing.T) {
+	a := Participants(NumParticipants)
+	b := Participants(NumParticipants)
+	if len(a) != NumParticipants {
+		t.Fatalf("participants = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Participants is not deterministic")
+		}
+	}
+	if a[0] != DefaultCosts() {
+		t.Error("participant 0 should be the default profile")
+	}
+	// Profiles actually differ.
+	same := 0
+	for i := 1; i < len(a); i++ {
+		if a[i] == a[0] {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d participants identical to default", same)
+	}
+	// All constants stay positive and within the documented band.
+	d := DefaultCosts()
+	for i, c := range a {
+		if c.ReadRecord < 0.5*d.ReadRecord || c.ReadRecord > 1.7*d.ReadRecord {
+			t.Errorf("participant %d ReadRecord %.2f out of band", i, c.ReadRecord)
+		}
+		if c.WriteRegex <= 0 || c.TypeExample <= 0 {
+			t.Errorf("participant %d has non-positive costs", i)
+		}
+	}
+}
+
+// The §7.2 headline shape — CLX verification nearly flat, FlashFill
+// verification growing an order of magnitude — must hold for every
+// participant profile, not just the default calibration.
+func TestShapeRobustAcrossParticipants(t *testing.T) {
+	for pi, costs := range Participants(NumParticipants) {
+		res := RunVerificationStudy(costs)
+		clxGrowth := Growth(res, func(r CaseResult) float64 { return r.CLX.VerificationTime() })
+		ffGrowth := Growth(res, func(r CaseResult) float64 { return r.FF.VerificationTime() })
+		if clxGrowth > 3 {
+			t.Errorf("participant %d: CLX verification growth %.1fx", pi, clxGrowth)
+		}
+		if ffGrowth < 3*clxGrowth {
+			t.Errorf("participant %d: FF growth %.1fx not >> CLX growth %.1fx",
+				pi, ffGrowth, clxGrowth)
+		}
+		// CLX is the cheapest system at 300(6) for everyone.
+		last := res[2]
+		if last.CLX.Total() >= last.FF.Total() || last.CLX.Total() >= last.RR.Total() {
+			t.Errorf("participant %d: CLX not cheapest at 300(6): clx=%.0f ff=%.0f rr=%.0f",
+				pi, last.CLX.Total(), last.FF.Total(), last.RR.Total())
+		}
+	}
+}
+
+func TestRunVerificationPanel(t *testing.T) {
+	panel := RunVerificationPanel(NumParticipants)
+	if len(panel) != 3 {
+		t.Fatalf("cases = %d", len(panel))
+	}
+	for _, pr := range panel {
+		for si := range pr.MeanTotal {
+			if pr.MeanTotal[si] <= 0 || pr.MeanVerify[si] > pr.MeanTotal[si] {
+				t.Errorf("case %s system %d: total %.1f verify %.1f",
+					pr.Case.Name, si, pr.MeanTotal[si], pr.MeanVerify[si])
+			}
+		}
+	}
+	// Panel means preserve the ordering at 300(6): CLX < FF < RR or
+	// CLX < RR < FF — CLX cheapest either way.
+	last := panel[2]
+	if last.MeanTotal[2] >= last.MeanTotal[1] || last.MeanTotal[2] >= last.MeanTotal[0] {
+		t.Errorf("panel means at 300(6): rr=%.0f ff=%.0f clx=%.0f — CLX should be cheapest",
+			last.MeanTotal[0], last.MeanTotal[1], last.MeanTotal[2])
+	}
+}

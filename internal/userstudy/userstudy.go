@@ -1,0 +1,208 @@
+// Package userstudy reproduces the paper's two user studies (§7.2
+// verification effort, §7.3 explainability) as behavioral cost models.
+//
+// The interaction *traces* — how many examples a FlashFill user provides,
+// where the next wrong record sits, how many pattern cards and plan
+// previews a CLX user inspects, how many Replace operations a Trifacta user
+// authors — come from running the real synthesizers via internal/simuser.
+// Only the per-action human costs (seconds to read a record, type an
+// example, write a regexp, …) are calibrated constants; see DESIGN.md's
+// substitution table for why this preserves the paper's claims, which are
+// about growth *shape*, not absolute seconds.
+package userstudy
+
+import (
+	"clx/internal/simuser"
+)
+
+// Costs are the per-action human time constants, in seconds.
+type Costs struct {
+	// ReadRecord is the time to read one transformed record and judge its
+	// correctness (instance-level verification, §7.2).
+	ReadRecord float64
+	// ReadPattern is the time to read one pattern card in the cluster
+	// display (pattern-level verification).
+	ReadPattern float64
+	// Orient is the fixed time to take in a pattern-based display before
+	// judging individual cards.
+	Orient float64
+	// TypeExample is the time to type one input-output example.
+	TypeExample float64
+	// SelectTarget is the time to choose the desired pattern.
+	SelectTarget float64
+	// VerifyPlan is the time to read one suggested Replace operation and
+	// its preview.
+	VerifyPlan float64
+	// RepairPlan is the time to open the alternative plans and pick one.
+	RepairPlan float64
+	// WriteRegex is the time to write one regular expression by hand.
+	WriteRegex float64
+	// SkimAfter is the number of consecutive correct records after which a
+	// scanning user stops reading carefully and skims.
+	SkimAfter int
+	// SkimFactor scales ReadRecord while skimming.
+	SkimFactor float64
+}
+
+// scanCost is the verification time for reading n records in one scan,
+// with attention decaying to a skim after Costs.SkimAfter records.
+func (c Costs) scanCost(n int) float64 {
+	if n <= c.SkimAfter || c.SkimAfter <= 0 {
+		return c.ReadRecord * float64(n)
+	}
+	return c.ReadRecord*float64(c.SkimAfter) +
+		c.ReadRecord*c.SkimFactor*float64(n-c.SkimAfter)
+}
+
+// DefaultCosts returns the calibrated constants. They are deliberately
+// round numbers in plausible human ranges; all Figure 11/12/14 claims are
+// about relative growth, which the traces determine.
+func DefaultCosts() Costs {
+	return Costs{
+		ReadRecord:   1.5,
+		ReadPattern:  4,
+		Orient:       20,
+		TypeExample:  25,
+		SelectTarget: 5,
+		VerifyPlan:   8,
+		RepairPlan:   15,
+		WriteRegex:   30,
+		SkimAfter:    60,
+		SkimFactor:   0.2,
+	}
+}
+
+// Interaction is one user interaction with timing breakdown.
+type Interaction struct {
+	// Kind labels the interaction ("label", "plan", "example", "replace",
+	// "final-check").
+	Kind string
+	// Specify is the input time (typing, selecting) in seconds.
+	Specify float64
+	// Verify is the verification time in seconds.
+	Verify float64
+	// At is the session timestamp at the *end* of the interaction.
+	At float64
+}
+
+// Session is a full simulated user session.
+type Session struct {
+	System       string
+	Interactions []Interaction
+}
+
+// Total returns the session's completion time.
+func (s Session) Total() float64 {
+	if len(s.Interactions) == 0 {
+		return 0
+	}
+	return s.Interactions[len(s.Interactions)-1].At
+}
+
+// VerificationTime returns the summed verification component (§7.2's
+// metric).
+func (s Session) VerificationTime() float64 {
+	v := 0.0
+	for _, it := range s.Interactions {
+		v += it.Verify
+	}
+	return v
+}
+
+// SpecificationTime returns the summed input component.
+func (s Session) SpecificationTime() float64 {
+	v := 0.0
+	for _, it := range s.Interactions {
+		v += it.Specify
+	}
+	return v
+}
+
+// CountedInteractions returns the §7.2 interaction count (the final
+// confirmation pass is verification, not an interaction).
+func (s Session) CountedInteractions() int {
+	n := 0
+	for _, it := range s.Interactions {
+		if it.Kind != "final-check" {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Session) push(kind string, specify, verify float64) {
+	at := specify + verify
+	if n := len(s.Interactions); n > 0 {
+		at += s.Interactions[n-1].At
+	}
+	s.Interactions = append(s.Interactions, Interaction{Kind: kind, Specify: specify, Verify: verify, At: at})
+}
+
+// CLXSession builds the timed session for a CLX run.
+//
+// The labeling interaction verifies the pattern-cluster display (orient +
+// one card per cluster) and selects the target(s). Each plan interaction
+// verifies one suggested Replace operation, plus a repair when the default
+// was wrong. The final check re-reads the post-transform pattern display —
+// pattern-level verification, independent of row count (the paper's core
+// mechanism).
+func CLXSession(res simuser.CLXResult, c Costs) Session {
+	s := Session{System: "CLX"}
+	s.push("label",
+		c.SelectTarget*float64(res.Selections),
+		c.Orient+c.ReadPattern*float64(res.InputClusters))
+	for _, ev := range res.PlanEvents {
+		specify := 0.0
+		if ev.Repaired {
+			specify = c.RepairPlan
+		}
+		s.push("plan", specify, c.VerifyPlan)
+	}
+	s.push("final-check", 0, c.Orient+c.ReadPattern*float64(res.PostClusters))
+	return s
+}
+
+// FFSession builds the timed session for a FlashFill run. Each example
+// interaction types the example and then scans the refreshed column until
+// the next wrong record (or all the way through when none remains) — the
+// instance-level verification whose cost grows with data size.
+func FFSession(res simuser.FFResult, c Costs) Session {
+	s := Session{System: "FlashFill"}
+	for k := range res.Examples {
+		scan := 0
+		if k < len(res.ScanLengths) {
+			scan = res.ScanLengths[k]
+		}
+		s.push("example", c.TypeExample, c.scanCost(scan))
+	}
+	if n := len(res.ScanLengths); n > len(res.Examples) {
+		s.push("final-check", 0, c.scanCost(res.ScanLengths[n-1]))
+	}
+	return s
+}
+
+// RRSession builds the timed session for a RegexReplace run. Each operation
+// scans forward from the previous trigger row to find the next ill-formatted
+// record, then writes two regexps. The final pass re-reads the whole column.
+func RRSession(res simuser.RRResult, rows int, c Costs) Session {
+	s := Session{System: "RegexReplace"}
+	prev := 0
+	for _, at := range res.TriggerRows {
+		scan := at - prev + 1
+		if scan < 1 {
+			scan = 1
+		}
+		prev = at
+		s.push("replace", 2*c.WriteRegex, c.scanCost(scan))
+	}
+	s.push("final-check", 0, c.scanCost(rows))
+	return s
+}
+
+// Run simulates one task on all three systems and returns the sessions.
+func Run(inputs, want []string, c Costs) (clx, ff, rr Session) {
+	clxRes := simuser.SimulateCLX(inputs, want, simuser.DefaultOptions())
+	ffRes := simuser.SimulateFlashFill(inputs, want)
+	rrRes := simuser.SimulateRegexReplace(inputs, want)
+	return CLXSession(clxRes, c), FFSession(ffRes, c), RRSession(rrRes, len(inputs), c)
+}

@@ -1,0 +1,64 @@
+// The §7.2 verification-effort study: three samples of the (simulated)
+// Times Square Food & Beverage phone column at growing size and
+// heterogeneity, each solved on all three systems with the cost model.
+package userstudy
+
+import (
+	"clx/internal/dataset"
+)
+
+// StudyCase is one of the §7.2 test cases, e.g. "300(6)" = 300 records in 6
+// patterns.
+type StudyCase struct {
+	Name    string
+	Rows    int
+	Formats int
+}
+
+// StudyCases returns the paper's three cases.
+func StudyCases() []StudyCase {
+	return []StudyCase{
+		{"10(2)", 10, 2},
+		{"100(4)", 100, 4},
+		{"300(6)", 300, 6},
+	}
+}
+
+// CaseResult holds the three sessions for one study case.
+type CaseResult struct {
+	Case StudyCase
+	CLX  Session
+	FF   Session
+	RR   Session
+}
+
+// Sessions returns the sessions in the paper's plotting order
+// (RegexReplace, FlashFill, CLX).
+func (c CaseResult) Sessions() []Session { return []Session{c.RR, c.FF, c.CLX} }
+
+// RunVerificationStudy runs the §7.2 study: the task is to transform every
+// phone number into <D>3-<D>3-<D>4.
+func RunVerificationStudy(c Costs) []CaseResult {
+	var out []CaseResult
+	for _, sc := range StudyCases() {
+		in, want := dataset.Phones(sc.Rows, sc.Formats, 73300+int64(sc.Rows))
+		clx, ff, rr := Run(in, want, c)
+		out = append(out, CaseResult{Case: sc, CLX: clx, FF: ff, RR: rr})
+	}
+	return out
+}
+
+// Growth returns t(last)/t(first) for a metric across the study cases — the
+// paper's headline "verification time grew by 1.3× (CLX) vs 11.4×
+// (FlashFill)" statistic.
+func Growth(results []CaseResult, metric func(CaseResult) float64) float64 {
+	if len(results) < 2 {
+		return 1
+	}
+	first := metric(results[0])
+	last := metric(results[len(results)-1])
+	if first == 0 {
+		return 0
+	}
+	return last / first
+}

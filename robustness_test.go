@@ -1,0 +1,187 @@
+// Robustness tests: pathological columns through the public API. The
+// engine must never panic, never corrupt flagged rows, and stay fast
+// enough to be interactive.
+package clx_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	clx "clx"
+)
+
+func label(t *testing.T, data []string, target string) *clx.Transformation {
+	t.Helper()
+	tr, err := clx.NewSession(data).Label(clx.MustParsePattern(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestEmptyColumn(t *testing.T) {
+	tr := label(t, nil, "<D>3")
+	out, flagged := tr.Run()
+	if len(out) != 0 || len(flagged) != 0 {
+		t.Errorf("out=%v flagged=%v", out, flagged)
+	}
+}
+
+func TestSingleRowColumn(t *testing.T) {
+	tr := label(t, []string{"(734) 645-8397"}, "<D>3'-'<D>3'-'<D>4")
+	out, flagged := tr.Run()
+	if len(flagged) != 0 || out[0] != "734-645-8397" {
+		t.Errorf("out=%v flagged=%v", out, flagged)
+	}
+}
+
+func TestAllNoiseColumn(t *testing.T) {
+	data := []string{"???", "!!!", "@@@"}
+	tr := label(t, data, "<D>3'-'<D>4")
+	out, flagged := tr.Run()
+	if len(flagged) != len(data) {
+		t.Errorf("flagged = %v, want all rows", flagged)
+	}
+	for i := range data {
+		if out[i] != data[i] {
+			t.Errorf("noise row %d mutated: %q", i, out[i])
+		}
+	}
+}
+
+func TestEmptyStringRows(t *testing.T) {
+	data := []string{"", "123-4567", "", ""}
+	tr := label(t, data, "<D>3'-'<D>4")
+	out, flagged := tr.Run()
+	for _, i := range flagged {
+		if data[i] != "" {
+			t.Errorf("row %d flagged unexpectedly", i)
+		}
+	}
+	for i, s := range data {
+		if s == "" && out[i] != "" {
+			t.Errorf("empty row %d mutated to %q", i, out[i])
+		}
+	}
+}
+
+func TestVeryLongValues(t *testing.T) {
+	long := strings.Repeat("ab12-", 2000) + "x"
+	data := []string{long, "123-4567"}
+	sess := clx.NewSession(data)
+	if got := len(sess.Clusters()); got != 2 {
+		t.Errorf("clusters = %d", got)
+	}
+	tr, err := sess.Label(clx.MustParsePattern("<D>3'-'<D>4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, flagged := tr.Run()
+	if len(flagged) != 1 || out[0] != long {
+		t.Errorf("long row should pass through flagged")
+	}
+}
+
+func TestHeavyDuplicates(t *testing.T) {
+	data := make([]string, 5000)
+	for i := range data {
+		data[i] = "(734) 645-8397"
+	}
+	data[4999] = "734-645-8397"
+	tr := label(t, data, "<D>3'-'<D>3'-'<D>4")
+	out, flagged := tr.Run()
+	if len(flagged) != 0 {
+		t.Fatalf("flagged = %d", len(flagged))
+	}
+	for _, s := range out {
+		if s != "734-645-8397" {
+			t.Fatalf("bad output %q", s)
+		}
+	}
+}
+
+func TestManyDistinctFormats(t *testing.T) {
+	// 26 structurally distinct formats (prefix runs of growing length):
+	// one leaf cluster each, and one source candidate each.
+	var data []string
+	for k := 1; k <= 26; k++ {
+		prefix := strings.Repeat("a", k)
+		data = append(data, prefix+":123", prefix+":456")
+	}
+	sess := clx.NewSession(data)
+	if got := len(sess.Clusters()); got != 26 {
+		t.Errorf("clusters = %d, want 26", got)
+	}
+	tr, err := sess.Label(clx.MustParsePattern("<D>3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, flagged := tr.Run()
+	if len(flagged) != 0 {
+		t.Errorf("flagged = %v", flagged)
+	}
+	for i, s := range out {
+		want := data[i][strings.IndexByte(data[i], ':')+1:]
+		if s != want {
+			t.Errorf("out[%d] = %q, want %q", i, s, want)
+		}
+	}
+}
+
+// Interactivity guard: a 20k-row heterogeneous column must profile,
+// synthesize and transform well under a second.
+func TestInteractiveLatencyBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var data []string
+	for i := 0; i < 20000; i++ {
+		a := []string{"123", "456", "789"}[i%3]
+		b := []string{"645", "263", "555"}[(i/3)%3]
+		c := []string{"8397", "1192", "0000"}[(i/9)%3]
+		switch i % 4 {
+		case 0:
+			data = append(data, "("+a+") "+b+"-"+c)
+		case 1:
+			data = append(data, a+"-"+b+"-"+c)
+		case 2:
+			data = append(data, a+"."+b+"."+c)
+		default:
+			data = append(data, a+" "+b+" "+c)
+		}
+	}
+	start := time.Now()
+	tr := label(t, data, "<D>3'-'<D>3'-'<D>4")
+	out, flagged := tr.Run()
+	elapsed := time.Since(start)
+	if len(flagged) != 0 {
+		t.Fatalf("flagged = %d", len(flagged))
+	}
+	_ = out
+	if elapsed > time.Second {
+		t.Errorf("20k-row session took %v, want < 1s (interactivity, §4)", elapsed)
+	}
+}
+
+func TestUnicodeColumn(t *testing.T) {
+	data := []string{"café 12", "müsli 34", "café 56"}
+	sess := clx.NewSession(data)
+	for _, c := range sess.Clusters() {
+		for _, ri := range c.Rows {
+			if !c.Pattern.Matches(data[ri]) {
+				t.Errorf("pattern %s does not match %q", c.Pattern, data[ri])
+			}
+		}
+	}
+	tr, err := sess.Label(clx.MustParsePattern("<D>2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := tr.Run()
+	for i, s := range out {
+		if !strings.HasSuffix(data[i], s) && s != data[i] {
+			t.Errorf("out[%d] = %q from %q", i, s, data[i])
+		}
+	}
+}

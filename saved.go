@@ -1,0 +1,102 @@
+package clx
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"clx/internal/pattern"
+	"clx/internal/unifi"
+)
+
+// SavedProgram is a verified transformation serialized for later use:
+// synthesize and verify once during wrangling, then ship the program to a
+// pipeline and apply it without re-synthesis. The JSON form is
+// human-auditable — it is the same Replace-operation content the user
+// verified.
+type SavedProgram struct {
+	target pattern.Pattern
+	prog   unifi.GuardedProgram
+}
+
+type savedJSON struct {
+	Target string          `json:"target"`
+	Cases  json.RawMessage `json:"cases"`
+}
+
+// Export serializes the transformation (with any repairs and guarded cases
+// applied) for LoadProgram.
+func (t *Transformation) Export() ([]byte, error) {
+	var progBuf bytes.Buffer
+	progEnc := json.NewEncoder(&progBuf)
+	progEnc.SetEscapeHTML(false)
+	if err := progEnc.Encode(t.guardedProgram()); err != nil {
+		return nil, err
+	}
+	progRaw := progBuf.Bytes()
+	var pj struct {
+		Cases json.RawMessage `json:"cases"`
+	}
+	if err := json.Unmarshal(progRaw, &pj); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false) // keep "<D>3" readable
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(savedJSON{
+		Target: t.res.Target.String(),
+		Cases:  pj.Cases,
+	}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadProgram deserializes a program produced by Export.
+func LoadProgram(data []byte) (*SavedProgram, error) {
+	var sj savedJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		return nil, err
+	}
+	target, err := pattern.Parse(sj.Target)
+	if err != nil {
+		return nil, fmt.Errorf("clx: bad target in saved program: %w", err)
+	}
+	var prog unifi.GuardedProgram
+	if err := json.Unmarshal([]byte(fmt.Sprintf(`{"cases":%s}`, sj.Cases)), &prog); err != nil {
+		return nil, err
+	}
+	return &SavedProgram{target: target, prog: prog}, nil
+}
+
+// Target returns the program's target pattern.
+func (sp *SavedProgram) Target() Pattern { return sp.target }
+
+// Apply transforms one value: already-clean values pass through, values of
+// a known format are transformed, anything else is returned unchanged with
+// ok=false.
+func (sp *SavedProgram) Apply(s string) (string, bool) {
+	if sp.target.Matches(s) {
+		return s, true
+	}
+	out, err := sp.prog.Apply(s)
+	if err != nil {
+		return s, false
+	}
+	return out, true
+}
+
+// Transform applies the program to a column, returning the output and the
+// indices of rows left unchanged for review.
+func (sp *SavedProgram) Transform(rows []string) (out []string, flagged []int) {
+	out = make([]string, len(rows))
+	for i, s := range rows {
+		v, ok := sp.Apply(s)
+		out[i] = v
+		if !ok {
+			flagged = append(flagged, i)
+		}
+	}
+	return out, flagged
+}

@@ -1,0 +1,51 @@
+// Package tables applies the CLX paradigm to whole tables — the second
+// instantiation the paper sketches as future work (§9): heterogeneous
+// spreadsheet tables storing the same information are clustered by schema,
+// the user labels the standard table, and every other table is converted
+// into its format, with string-level CLX transformations synthesized for
+// columns whose value formats differ.
+//
+//	groups := tables.Cluster(all)              // Cluster
+//	unified, maps, err := tables.Unify(group, 0) // Label (index) + Transform
+package tables
+
+import (
+	"clx/internal/tablex"
+)
+
+// Table is one spreadsheet-like table: headers plus rows of cells.
+type Table = tablex.Table
+
+// Schema is a table's structural fingerprint: normalized headers and
+// dominant value patterns.
+type Schema = tablex.Schema
+
+// Mapping describes how a source table's columns were aligned onto the
+// target's.
+type Mapping = tablex.Mapping
+
+// ColumnMap is one aligned column pair of a Mapping.
+type ColumnMap = tablex.ColumnMap
+
+// SchemaOf fingerprints a table.
+func SchemaOf(t Table) Schema { return tablex.SchemaOf(t) }
+
+// Cluster groups tables describing the same information (the Cluster
+// phase). Each group is a slice of indices into the input.
+func Cluster(ts []Table) [][]int { return tablex.ClusterTables(ts) }
+
+// Align maps src's columns onto dst's by header and value-pattern evidence.
+func Align(src, dst Table) Mapping { return tablex.AlignTables(src, dst) }
+
+// Transform converts src into dst's format. The returned pairs are
+// (row, targetColumn) cells whose value matched no known source format and
+// was copied through for review.
+func Transform(src, dst Table) (Table, Mapping, [][2]int, error) {
+	return tablex.TransformTable(src, dst)
+}
+
+// Unify converts every table of a group into the format of the table at
+// targetIdx (the Label + Transform phases).
+func Unify(ts []Table, targetIdx int) ([]Table, []Mapping, error) {
+	return tablex.Unify(ts, targetIdx)
+}

@@ -1,0 +1,74 @@
+package tables_test
+
+import (
+	"fmt"
+	"testing"
+
+	"clx/tables"
+)
+
+func contactTables() []tables.Table {
+	return []tables.Table{
+		{
+			Name:    "standard",
+			Headers: []string{"Name", "Phone"},
+			Rows: [][]string{
+				{"Eran Yahav", "734-645-8397"},
+				{"Kate Fisher", "313-263-1192"},
+			},
+		},
+		{
+			Name:    "legacy",
+			Headers: []string{"PHONE", "NAME"},
+			Rows: [][]string{
+				{"(734) 645-0001", "Rosa Cole"},
+				{"(517) 555-2222", "Omar Sy"},
+			},
+		},
+	}
+}
+
+func TestPublicTableWorkflow(t *testing.T) {
+	all := contactTables()
+	groups := tables.Cluster(all)
+	if len(groups) != 1 || len(groups[0]) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	unified, maps, err := tables.Unify(all, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unified[1].Rows[0][0] != "Rosa Cole" || unified[1].Rows[0][1] != "734-645-0001" {
+		t.Errorf("unified legacy row = %v", unified[1].Rows[0])
+	}
+	if len(maps[1].Columns) != 2 {
+		t.Errorf("mapping = %+v", maps[1])
+	}
+	s := tables.SchemaOf(unified[1])
+	if s.Columns[1].Pattern.String() != "<D>+'-'<D>+'-'<D>+" {
+		t.Errorf("phone pattern after unify = %s", s.Columns[1].Pattern)
+	}
+}
+
+func TestAlignPublic(t *testing.T) {
+	all := contactTables()
+	m := tables.Align(all[1], all[0])
+	if len(m.Columns) != 2 {
+		t.Fatalf("mapping = %+v", m)
+	}
+	if m.Columns[0].Dst != 0 || m.Columns[0].Src != 1 {
+		t.Errorf("name mapping = %+v", m.Columns[0])
+	}
+}
+
+func ExampleUnify() {
+	all := []tables.Table{
+		{Name: "std", Headers: []string{"Name", "Phone"},
+			Rows: [][]string{{"Kate Fisher", "313-263-1192"}}},
+		{Name: "legacy", Headers: []string{"phone", "name"},
+			Rows: [][]string{{"(734) 645-0001", "Rosa Cole"}}},
+	}
+	unified, _, _ := tables.Unify(all, 0)
+	fmt.Println(unified[1].Headers, unified[1].Rows[0])
+	// Output: [Name Phone] [Rosa Cole 734-645-0001]
+}
