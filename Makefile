@@ -1,0 +1,26 @@
+# Test tiers. Tier-1 is the gate every change must keep green; the race
+# tier additionally runs go vet and the full suite under the race
+# detector, which exercises the parallel pipeline (internal/parallel,
+# the rematch compile cache, and the sharded cluster/synth/transform
+# paths) with worker counts > 1.
+
+GO ?= go
+
+.PHONY: test race bench pipeline
+
+# Tier-1: build + unit tests (ROADMAP.md contract).
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+# Race tier: static checks + race-detector run of every package,
+# including the worker-count determinism suite.
+race:
+	$(GO) vet ./... && $(GO) test -race ./...
+
+# Parallel-pipeline micro-benchmarks (worker-count sweep).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkParallel' -benchmem .
+
+# Regenerate BENCH_pipeline.json (serial-vs-parallel stage timings).
+pipeline:
+	$(GO) run ./cmd/clxbench -exp pipeline

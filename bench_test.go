@@ -233,6 +233,50 @@ func BenchmarkEndToEndSession(b *testing.B) {
 	}
 }
 
+// workerSweep is the worker-count grid of the parallel benchmarks; it
+// matches the determinism test so every measured configuration is also a
+// verified-identical one.
+var workerSweep = []int{1, 2, 4, 8}
+
+// BenchmarkParallelProfile sweeps cluster.Profile across worker counts
+// (Workers=1 is the serial baseline; see BENCH_pipeline.json for the
+// tracked serial-vs-parallel trajectory).
+func BenchmarkParallelProfile(b *testing.B) {
+	rows, _ := dataset.Phones(10000, 6, 77)
+	for _, w := range workerSweep {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			opts := cluster.DefaultOptions()
+			opts.Workers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cluster.Profile(rows, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelEndToEnd sweeps the full profile → synthesize →
+// transform session across worker counts.
+func BenchmarkParallelEndToEnd(b *testing.B) {
+	rows, _ := dataset.Phones(10000, 6, 77)
+	target := clx.MustParsePattern("<D>3'-'<D>3'-'<D>4")
+	for _, w := range workerSweep {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			opts := clx.DefaultOptions()
+			opts.Workers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sess := clx.NewSession(rows, opts)
+				tr, err := sess.Label(target)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr.Run()
+			}
+		})
+	}
+}
+
 func BenchmarkFlashFillLatency(b *testing.B) {
 	examples := []flashfill.Example{
 		{In: "(734) 645-8397", Out: "734-645-8397"},

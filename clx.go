@@ -32,7 +32,9 @@ import (
 	"sort"
 
 	"clx/internal/cluster"
+	"clx/internal/parallel"
 	"clx/internal/pattern"
+	"clx/internal/rematch"
 	"clx/internal/replace"
 	"clx/internal/synth"
 	"clx/internal/unifi"
@@ -73,6 +75,12 @@ type Options struct {
 	// Alternatives is the number of ranked transformation plans kept per
 	// source pattern for repair (§6.4).
 	Alternatives int
+	// Workers bounds the goroutine fan-out of the profile → synthesize →
+	// transform pipeline: 0 (the default) uses one worker per CPU, 1
+	// reproduces the serial execution exactly. Results — cluster order,
+	// plan ranking, transformed rows, flagged indices — are byte-identical
+	// for every worker count (see DESIGN.md §7).
+	Workers int
 }
 
 // DefaultOptions returns the prototype configuration.
@@ -83,6 +91,7 @@ func DefaultOptions() Options {
 func (o Options) clusterOptions() cluster.Options {
 	co := cluster.DefaultOptions()
 	co.DiscoverConstants = o.DiscoverConstants
+	co.Workers = o.Workers
 	return co
 }
 
@@ -91,6 +100,7 @@ func (o Options) synthOptions() synth.Options {
 	if o.Alternatives > 0 {
 		so.K = o.Alternatives
 	}
+	so.Workers = o.Workers
 	return so
 }
 
@@ -326,20 +336,25 @@ func (t *Transformation) Run() (out []string, flagged []int) {
 		return t.res.Transform()
 	}
 	prog := t.guardedProgram()
-	out = make([]string, len(t.sess.data))
-	for i, s := range t.sess.data {
-		if t.res.Target.Matches(s) {
-			out[i] = s
-			continue
+	target := rematch.CompileCached(t.res.Target.Tokens())
+	data := t.sess.data
+	out = make([]string, len(data))
+	flagged = parallel.Gather(t.sess.opts.Workers, len(data), func(lo, hi int, emit func(int)) {
+		for i := lo; i < hi; i++ {
+			s := data[i]
+			if target.Matches(s) {
+				out[i] = s
+				continue
+			}
+			v, err := prog.Apply(s)
+			if err != nil {
+				out[i] = s
+				emit(i)
+				continue
+			}
+			out[i] = v
 		}
-		v, err := prog.Apply(s)
-		if err != nil {
-			out[i] = s
-			flagged = append(flagged, i)
-			continue
-		}
-		out[i] = v
-	}
+	})
 	return out, flagged
 }
 

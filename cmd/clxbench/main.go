@@ -52,6 +52,7 @@ func experimentsMap() map[string]func() {
 		"expressivity": expressivity,
 		"appendixE":    appendixE,
 		"scaling":      scaling,
+		"pipeline":     pipeline,
 		"panel":        panel,
 		"markdown":     markdown,
 		"quiz":         quiz,

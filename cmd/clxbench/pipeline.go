@@ -1,0 +1,138 @@
+// The pipeline experiment: serial-vs-parallel timings for the
+// profile → synthesize → transform hot path, persisted as
+// BENCH_pipeline.json so the perf trajectory is tracked across PRs.
+//
+//	clxbench -exp pipeline [-rows n] [-pipeline-out f]
+//
+// Each worker count in the sweep runs the full pipeline over the same
+// generated phone column (the §7.2 scaling scenario); per-stage times are
+// best-of-N to damp scheduler noise, and the speedup column is relative to
+// Workers=1, which executes the exact serial code path.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"clx/internal/cluster"
+	"clx/internal/dataset"
+	"clx/internal/pattern"
+	"clx/internal/synth"
+)
+
+var (
+	pipelineRows = flag.Int("rows", 20000, "pipeline experiment: input column size")
+	pipelineOut  = flag.String("pipeline-out", "BENCH_pipeline.json",
+		"pipeline experiment: output JSON path ('' disables the file)")
+	pipelineReps = flag.Int("reps", 3, "pipeline experiment: repetitions per worker count (best is kept)")
+)
+
+// pipelineRun is one row of the report: per-stage and total wall time for
+// one worker count.
+type pipelineRun struct {
+	Workers     int     `json:"workers"`
+	ProfileMS   float64 `json:"profile_ms"`
+	SynthMS     float64 `json:"synthesize_ms"`
+	TransformMS float64 `json:"transform_ms"`
+	TotalMS     float64 `json:"total_ms"`
+	// SpeedupVsSerial is serial total / this total (≥1 means faster).
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// pipelineReport is the persisted BENCH_pipeline.json document.
+type pipelineReport struct {
+	GeneratedUnix int64         `json:"generated_unix"`
+	Rows          int           `json:"rows"`
+	GOMAXPROCS    int           `json:"gomaxprocs"`
+	Target        string        `json:"target"`
+	Runs          []pipelineRun `json:"runs"`
+}
+
+// pipelineSweep is the worker counts measured: the serial baseline, the
+// powers of two the determinism tests pin, and the machine width.
+func pipelineSweep() []int {
+	sweep := []int{1, 2, 4, 8}
+	if n := runtime.GOMAXPROCS(0); n > 8 {
+		sweep = append(sweep, n)
+	}
+	return sweep
+}
+
+func pipeline() {
+	rows, _ := dataset.Phones(*pipelineRows, 6, 77)
+	target := pattern.MustParse("<D>3'-'<D>3'-'<D>4")
+	fmt.Printf("== Pipeline: serial vs parallel (rows=%d, GOMAXPROCS=%d, best of %d) ==\n",
+		len(rows), runtime.GOMAXPROCS(0), *pipelineReps)
+	fmt.Printf("%8s %12s %12s %12s %12s %9s\n",
+		"workers", "profile", "synthesize", "transform", "total", "speedup")
+
+	report := pipelineReport{
+		GeneratedUnix: time.Now().Unix(),
+		Rows:          len(rows),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Target:        target.String(),
+	}
+	for _, w := range pipelineSweep() {
+		run := timePipeline(rows, target, w, *pipelineReps)
+		if len(report.Runs) == 0 {
+			run.SpeedupVsSerial = 1
+		} else {
+			run.SpeedupVsSerial = report.Runs[0].TotalMS / run.TotalMS
+		}
+		report.Runs = append(report.Runs, run)
+		fmt.Printf("%8d %10.2fms %10.2fms %10.2fms %10.2fms %8.2fx\n",
+			run.Workers, run.ProfileMS, run.SynthMS, run.TransformMS, run.TotalMS, run.SpeedupVsSerial)
+	}
+	if *pipelineOut == "" {
+		return
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false) // keep "<D>3" readable
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench: encode pipeline report:", err)
+		return
+	}
+	if err := os.WriteFile(*pipelineOut, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench: write pipeline report:", err)
+		return
+	}
+	fmt.Printf("wrote %s\n", *pipelineOut)
+}
+
+// timePipeline measures each stage best-of-reps at the given worker count.
+func timePipeline(rows []string, target pattern.Pattern, workers, reps int) pipelineRun {
+	co := cluster.DefaultOptions()
+	co.Workers = workers
+	so := synth.DefaultOptions()
+	so.Workers = workers
+	run := pipelineRun{Workers: workers}
+	best := func(cur, v float64) float64 {
+		if cur == 0 || v < cur {
+			return v
+		}
+		return cur
+	}
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		h := cluster.Profile(rows, co)
+		t1 := time.Now()
+		res := synth.Synthesize(h, target, so)
+		t2 := time.Now()
+		res.Transform()
+		t3 := time.Now()
+		run.ProfileMS = best(run.ProfileMS, ms(t1.Sub(t0)))
+		run.SynthMS = best(run.SynthMS, ms(t2.Sub(t1)))
+		run.TransformMS = best(run.TransformMS, ms(t3.Sub(t2)))
+		run.TotalMS = best(run.TotalMS, ms(t3.Sub(t0)))
+	}
+	return run
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

@@ -38,7 +38,7 @@ func handleCluster(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	sess := clx.NewSession(req.Rows)
+	sess := clx.NewSession(req.Rows, srvOpts)
 	resp := clusterResponse{Clusters: toClusterJSON(sess.Clusters(), true)}
 	if req.Levels {
 		for l := 0; l < sess.Levels(); l++ {
@@ -190,6 +190,7 @@ func handleApply(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	sp.Workers = srvOpts.Workers
 	out, flagged := sp.Transform(req.Rows)
 	writeJSON(w, http.StatusOK, applyResponse{Output: out, Flagged: flagged})
 }
@@ -208,7 +209,7 @@ func handleTransform(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	sess := clx.NewSession(req.Rows)
+	sess := clx.NewSession(req.Rows, srvOpts)
 	tr, err := sess.Label(target)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)

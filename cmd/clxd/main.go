@@ -21,14 +21,25 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+
+	clx "clx"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0,
+		"goroutine fan-out per request for profile/synthesize/transform (0 = one per CPU, 1 = serial)")
 	flag.Parse()
-	log.Printf("clxd listening on %s", *addr)
+	srvOpts.Workers = *workers
+	log.Printf("clxd listening on %s (workers=%d, 0=auto)", *addr, *workers)
 	log.Fatal(http.ListenAndServe(*addr, newMux()))
 }
+
+// srvOpts are the session options every handler uses; main overrides the
+// worker fan-out from the -workers flag. The compiled-matcher cache in
+// internal/rematch is process-wide, so repeated requests over similar
+// columns share prepared matchers across handlers regardless of fan-out.
+var srvOpts = clx.DefaultOptions()
 
 func newMux() *http.ServeMux {
 	mux := http.NewServeMux()

@@ -7,6 +7,7 @@ package cluster
 import (
 	"sort"
 
+	"clx/internal/parallel"
 	"clx/internal/pattern"
 	"clx/internal/token"
 )
@@ -43,6 +44,11 @@ type Options struct {
 	// 'Dr.'"); without this, a name that happens to repeat inside one
 	// small cluster would freeze and lose its extractable structure.
 	MinConstantRatio float64
+	// Workers bounds the goroutine fan-out of the data-parallel profiling
+	// stages (tokenization, constant-token statistics and discovery): 0
+	// means one worker per CPU, 1 runs serially. Output is byte-identical
+	// for every worker count.
+	Workers int
 }
 
 // DefaultOptions returns the options used by the CLX prototype.
@@ -59,23 +65,30 @@ func DefaultOptions() Options {
 // clusters (§4.1), in first-seen order. With opts.DiscoverConstants set,
 // constant base tokens are rewritten to literal tokens afterwards.
 func Initial(data []string, opts Options) []*Cluster {
+	// Tokenization is the per-row hot loop and rows are independent: shard
+	// it across workers. Keys are derived in the same pass — rendering the
+	// pattern string is itself a per-row cost worth parallelizing.
+	pats := make([]pattern.Pattern, len(data))
+	keys := make([]string, len(data))
+	parallel.For(opts.Workers, len(data), func(i int) {
+		pats[i] = pattern.FromString(data[i])
+		keys[i] = pats[i].Key()
+	})
+	// Grouping stays a serial left-to-right scan: first-seen cluster order
+	// is part of the user-facing contract.
 	byKey := make(map[string]*Cluster)
 	var order []*Cluster
-	pats := make([]pattern.Pattern, len(data))
 	for i, s := range data {
-		p := pattern.FromString(s)
-		pats[i] = p
-		k := p.Key()
-		c, ok := byKey[k]
+		c, ok := byKey[keys[i]]
 		if !ok {
-			c = &Cluster{Pattern: p, Sample: s}
-			byKey[k] = c
+			c = &Cluster{Pattern: pats[i], Sample: s}
+			byKey[keys[i]] = c
 			order = append(order, c)
 		}
 		c.Rows = append(c.Rows, i)
 	}
 	if opts.DiscoverConstants {
-		discoverConstants(order, data, opts)
+		discoverConstants(order, data, pats, opts)
 		// Constant substitution can only refine labels, never merge
 		// clusters, so the partition is unchanged.
 	}
@@ -84,67 +97,89 @@ func Initial(data []string, opts Options) []*Cluster {
 
 // discoverConstants rewrites base tokens whose value is constant across all
 // cluster members into literal tokens, following §4.1 (statistics over
-// tokenized strings). Positions and structure are preserved.
-func discoverConstants(clusters []*Cluster, data []string, opts Options) {
+// tokenized strings). Positions and structure are preserved. pats carries
+// the per-row patterns Initial already derived, so no row is re-tokenized.
+func discoverConstants(clusters []*Cluster, data []string, pats []pattern.Pattern, opts Options) {
 	// Corpus statistics: in how many rows does each base-token value occur?
-	rowsWith := make(map[string]int)
-	for _, s := range data {
-		seen := make(map[string]bool)
-		p := pattern.FromString(s)
-		spans, ok := p.Match(s)
-		if !ok {
-			continue
-		}
-		for ti, t := range p.Tokens() {
-			if t.IsLiteral() {
+	// Counts are additive across rows, so each worker accumulates a shard-
+	// local map and the shards merge afterwards; integer addition commutes,
+	// making the merged counts independent of shard boundaries.
+	chunks := parallel.Chunks(opts.Workers, len(data))
+	partials := make([]map[string]int, len(chunks))
+	parallel.For(opts.Workers, len(chunks), func(ci int) {
+		local := make(map[string]int)
+		for i := chunks[ci][0]; i < chunks[ci][1]; i++ {
+			s := data[i]
+			spans, ok := pats[i].Match(s)
+			if !ok {
 				continue
 			}
-			seen[s[spans[ti].Start:spans[ti].End]] = true
+			seen := make(map[string]bool)
+			for ti, t := range pats[i].Tokens() {
+				if t.IsLiteral() {
+					continue
+				}
+				seen[s[spans[ti].Start:spans[ti].End]] = true
+			}
+			for v := range seen {
+				local[v]++
+			}
 		}
-		for v := range seen {
-			rowsWith[v]++
+		partials[ci] = local
+	})
+	rowsWith := make(map[string]int)
+	for _, local := range partials {
+		for v, n := range local {
+			rowsWith[v] += n
 		}
 	}
 	frequent := func(v string) bool {
 		return float64(rowsWith[v]) >= opts.MinConstantRatio*float64(len(data))
 	}
-	for _, c := range clusters {
-		if c.Count() < opts.MinConstantSupport {
+	// Per-cluster discovery writes only its own cluster's pattern and reads
+	// the now-frozen rowsWith map — independent per cluster.
+	parallel.For(opts.Workers, len(clusters), func(i int) {
+		discoverClusterConstants(clusters[i], data, frequent, opts)
+	})
+}
+
+// discoverClusterConstants freezes the constant base tokens of one cluster.
+func discoverClusterConstants(c *Cluster, data []string, frequent func(string) bool, opts Options) {
+	if c.Count() < opts.MinConstantSupport {
+		return
+	}
+	toks := c.Pattern.Tokens()
+	// Token spans are identical across members because every member
+	// has the same fixed-quantifier pattern.
+	spans, ok := c.Pattern.Match(data[c.Rows[0]])
+	if !ok {
+		return
+	}
+	newToks := make([]token.Token, len(toks))
+	copy(newToks, toks)
+	changed := false
+	for ti, t := range toks {
+		if t.IsLiteral() {
 			continue
 		}
-		toks := c.Pattern.Tokens()
-		// Token spans are identical across members because every member
-		// has the same fixed-quantifier pattern.
-		spans, ok := c.Pattern.Match(data[c.Rows[0]])
-		if !ok {
+		if l, fixed := t.FixedLen(); !fixed || l > opts.MaxConstantLen {
 			continue
 		}
-		newToks := make([]token.Token, len(toks))
-		copy(newToks, toks)
-		changed := false
-		for ti, t := range toks {
-			if t.IsLiteral() {
-				continue
-			}
-			if l, fixed := t.FixedLen(); !fixed || l > opts.MaxConstantLen {
-				continue
-			}
-			val := data[c.Rows[0]][spans[ti].Start:spans[ti].End]
-			constant := true
-			for _, ri := range c.Rows[1:] {
-				if data[ri][spans[ti].Start:spans[ti].End] != val {
-					constant = false
-					break
-				}
-			}
-			if constant && frequent(val) {
-				newToks[ti] = token.Lit(val)
-				changed = true
+		val := data[c.Rows[0]][spans[ti].Start:spans[ti].End]
+		constant := true
+		for _, ri := range c.Rows[1:] {
+			if data[ri][spans[ti].Start:spans[ti].End] != val {
+				constant = false
+				break
 			}
 		}
-		if changed {
-			c.Pattern = pattern.Of(coalesceConstants(newToks)...)
+		if constant && frequent(val) {
+			newToks[ti] = token.Lit(val)
+			changed = true
 		}
+	}
+	if changed {
+		c.Pattern = pattern.Of(coalesceConstants(newToks)...)
 	}
 }
 

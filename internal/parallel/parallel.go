@@ -1,0 +1,125 @@
+// Package parallel provides the bounded, deterministic fan-out primitives
+// behind CLX's data-parallel hot paths (profiling, synthesis, transform).
+//
+// The three pipeline stages are data parallel in the obvious way — rows are
+// independent during tokenization and transformation, and source-pattern
+// syntheses are independent of one another — but CLX's contract with the
+// user is stronger than "eventually the same answer": cluster order, plan
+// ranking and flagged-row order are part of the verifiable interface, so
+// every primitive here is order-preserving. Work is split into contiguous
+// index chunks with boundaries that depend only on (workers, n); callers
+// write results by index or reduce per-chunk partials in chunk order, which
+// makes the parallel output byte-identical to the serial one for any worker
+// count.
+//
+// Workers semantics, used uniformly across clx.Options, cluster.Options and
+// synth.Options: 0 (or negative) means auto — one worker per available CPU
+// (GOMAXPROCS); 1 reproduces the serial execution exactly, on the calling
+// goroutine, with no goroutines spawned.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a configured worker count: n <= 0 selects one worker per
+// available CPU (runtime.GOMAXPROCS), n >= 1 is used as given.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Chunks splits the index range [0, n) into at most Workers(workers)
+// contiguous half-open chunks of near-equal size, in ascending order.
+// Boundaries depend only on the resolved worker count and n, so a reduction
+// over per-chunk partials in chunk order is deterministic. n <= 0 yields no
+// chunks; empty chunks are never returned.
+func Chunks(workers, n int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	out := make([][2]int, 0, w)
+	for c := 0; c < w; c++ {
+		lo, hi := c*n/w, (c+1)*n/w
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// ForChunks runs body over every chunk of [0, n), chunks concurrently. With
+// a resolved worker count of 1 the single chunk runs on the calling
+// goroutine — the serial path, no goroutines, no synchronization.
+func ForChunks(workers, n int, body func(lo, hi int)) {
+	chunks := Chunks(workers, n)
+	if len(chunks) == 0 {
+		return
+	}
+	if len(chunks) == 1 {
+		body(chunks[0][0], chunks[0][1])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(chunks))
+	for _, ch := range chunks {
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(ch[0], ch[1])
+	}
+	wg.Wait()
+}
+
+// For runs fn(i) for every i in [0, n) across at most workers goroutines.
+// fn must be safe to call concurrently for distinct indices and should
+// communicate results by writing to its own index of a preallocated slice.
+func For(workers, n int, fn func(i int)) {
+	ForChunks(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Map applies fn to every element of in and returns the results in input
+// order. fn must be safe to call concurrently.
+func Map[T, R any](workers int, in []T, fn func(T) R) []R {
+	if in == nil {
+		return nil
+	}
+	out := make([]R, len(in))
+	For(workers, len(in), func(i int) { out[i] = fn(in[i]) })
+	return out
+}
+
+// Gather runs body over every chunk of [0, n), collecting each chunk's
+// emitted values, and returns the concatenation in chunk order. It is the
+// order-preserving way to build a result of unpredictable size — e.g. the
+// flagged-row index list of a transform — under fan-out: emissions within a
+// chunk keep their order, and chunks concatenate low to high, so the result
+// is identical to a serial left-to-right scan.
+func Gather[R any](workers, n int, body func(lo, hi int, emit func(R))) []R {
+	chunks := Chunks(workers, n)
+	if len(chunks) == 0 {
+		return nil
+	}
+	parts := make([][]R, len(chunks))
+	For(workers, len(chunks), func(ci int) {
+		body(chunks[ci][0], chunks[ci][1], func(r R) {
+			parts[ci] = append(parts[ci], r)
+		})
+	})
+	var out []R
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

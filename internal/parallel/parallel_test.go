@@ -1,0 +1,120 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, n := range []int{1, 2, 7, 64} {
+		if got := Workers(n); got != n {
+			t.Errorf("Workers(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestChunksCoverExactly(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 8, 100} {
+		for _, n := range []int{0, 1, 2, 3, 7, 8, 9, 100, 101} {
+			chunks := Chunks(workers, n)
+			next := 0
+			for _, ch := range chunks {
+				if ch[0] != next {
+					t.Fatalf("Chunks(%d,%d): gap/overlap at %v, expected start %d", workers, n, ch, next)
+				}
+				if ch[1] <= ch[0] {
+					t.Fatalf("Chunks(%d,%d): empty or inverted chunk %v", workers, n, ch)
+				}
+				next = ch[1]
+			}
+			if next != n {
+				t.Fatalf("Chunks(%d,%d): covered [0,%d), want [0,%d)", workers, n, next, n)
+			}
+			if len(chunks) > workers && workers >= 1 {
+				t.Fatalf("Chunks(%d,%d): %d chunks exceeds worker count", workers, n, len(chunks))
+			}
+		}
+	}
+}
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		const n = 1000
+		var visits [n]int32
+		For(workers, n, func(i int) { atomic.AddInt32(&visits[i], 1) })
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	called := false
+	For(4, 0, func(int) { called = true })
+	For(4, -5, func(int) { called = true })
+	if called {
+		t.Error("For called fn for empty range")
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	in := make([]int, 513)
+	for i := range in {
+		in[i] = i
+	}
+	for _, workers := range []int{1, 3, 8} {
+		out := Map(workers, in, func(v int) int { return v * v })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+	if Map(4, nil, func(v int) int { return v }) != nil {
+		t.Error("Map(nil) should be nil")
+	}
+}
+
+func TestGatherMatchesSerialScan(t *testing.T) {
+	// Emit every third index; the gathered list must equal the serial scan
+	// regardless of worker count.
+	const n = 1001
+	var want []int
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			want = append(want, i)
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		got := Gather(workers, n, func(lo, hi int, emit func(int)) {
+			for i := lo; i < hi; i++ {
+				if i%3 == 0 {
+					emit(i)
+				}
+			}
+		})
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: got %d values, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGatherEmpty(t *testing.T) {
+	if got := Gather(4, 0, func(lo, hi int, emit func(int)) { emit(1) }); got != nil {
+		t.Errorf("Gather over empty range = %v, want nil", got)
+	}
+}

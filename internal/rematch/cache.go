@@ -1,0 +1,70 @@
+// Process-wide compiled-matcher cache.
+//
+// The same handful of patterns is compiled over and over across the system:
+// the synthesizer compiles the target once per Synthesize call, every
+// unifi.Program.Compile recompiles its case sources, replace.Op.Apply
+// historically re-matched from scratch per row, and the clxd server repeats
+// all of that per request. CompileCached memoizes Compile results under the
+// canonical pattern string so one *Compiled — with its pooled backtracking
+// state and precomputed quick rejects — is shared across ops, sessions and
+// concurrent request handlers.
+package rematch
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"clx/internal/token"
+)
+
+// cacheLimit bounds the number of cached matchers. Patterns arrive from
+// user data, so an unbounded memo would grow with every distinct column a
+// long-lived server sees; past the limit the whole cache is dropped and
+// rebuilt (correctness is unaffected — the cache is a pure memo).
+const cacheLimit = 8192
+
+// cacheMap is one generation of the memo; overflow swaps in a fresh
+// generation rather than deleting entries one by one.
+type cacheMap struct {
+	m sync.Map // canonical pattern string -> *Compiled
+	n atomic.Int64
+}
+
+var cache atomic.Pointer[cacheMap]
+
+func init() { cache.Store(new(cacheMap)) }
+
+// CompileCached returns a shared Compiled for p, memoized process-wide by
+// the canonical pattern string (token.Token.String concatenation, the same
+// key pattern.Pattern.Key uses, so equal patterns always share a matcher).
+//
+// Unlike Compile — which borrows the caller's slice and forbids later
+// mutation — CompileCached copies p before compiling. A cached matcher can
+// outlive any session, so it must never alias a token slice the caller (or
+// cluster generalization, which rewrites token buffers it owns) might still
+// touch.
+func CompileCached(p []token.Token) *Compiled {
+	k := cacheKey(p)
+	cm := cache.Load()
+	if c, ok := cm.m.Load(k); ok {
+		return c.(*Compiled)
+	}
+	own := make([]token.Token, len(p))
+	copy(own, p)
+	c, loaded := cm.m.LoadOrStore(k, Compile(own))
+	if !loaded && cm.n.Add(1) > cacheLimit {
+		// Retire this generation; concurrent readers of cm finish
+		// harmlessly against the old map.
+		cache.CompareAndSwap(cm, new(cacheMap))
+	}
+	return c.(*Compiled)
+}
+
+func cacheKey(p []token.Token) string {
+	var b strings.Builder
+	for _, t := range p {
+		b.WriteString(t.String())
+	}
+	return b.String()
+}

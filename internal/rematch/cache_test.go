@@ -1,0 +1,96 @@
+package rematch
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"clx/internal/token"
+)
+
+func phonePattern() []token.Token {
+	return []token.Token{
+		token.Base(token.Digit, 3), token.Lit("-"),
+		token.Base(token.Digit, 3), token.Lit("-"),
+		token.Base(token.Digit, 4),
+	}
+}
+
+func TestCompileCachedShares(t *testing.T) {
+	a := CompileCached(phonePattern())
+	b := CompileCached(phonePattern())
+	if a != b {
+		t.Error("equal patterns should share one cached matcher")
+	}
+	if !a.Matches("734-645-8397") || a.Matches("7346458397") {
+		t.Error("cached matcher has wrong semantics")
+	}
+}
+
+// TestCompileCachedDefensiveCopy is the aliasing regression test: mutating
+// the caller's token slice after CompileCached must not corrupt the cached
+// matcher (Compile documents "the slice is not copied"; the cache must).
+func TestCompileCachedDefensiveCopy(t *testing.T) {
+	toks := phonePattern()
+	c := CompileCached(toks)
+	if !c.Matches("734-645-8397") {
+		t.Fatal("matcher rejects a valid phone")
+	}
+	// Clobber the live slice the way a buggy caller could.
+	for i := range toks {
+		toks[i] = token.Lit("X")
+	}
+	if !c.Matches("734-645-8397") {
+		t.Error("cached matcher aliased the caller's mutated slice")
+	}
+	// A fresh lookup of the original pattern still matches too.
+	if !CompileCached(phonePattern()).Matches("734-645-8397") {
+		t.Error("cache entry corrupted by caller mutation")
+	}
+}
+
+func TestCompileCachedConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c := CompileCached(phonePattern())
+				if !c.Matches("734-645-8397") {
+					t.Error("concurrent cached match failed")
+					return
+				}
+				// Distinct per-goroutine patterns churn the cache at the
+				// same time.
+				p := []token.Token{token.Lit(fmt.Sprintf("g%d-%d", g, i))}
+				if !CompileCached(p).Matches(fmt.Sprintf("g%d-%d", g, i)) {
+					t.Error("per-goroutine cached match failed")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestCompileCachedLimitReset(t *testing.T) {
+	// Overflow the cache with distinct patterns; matching must keep working
+	// through the reset and the shared entry must be recoverable after.
+	for i := 0; i < cacheLimit+64; i++ {
+		p := []token.Token{token.Lit(fmt.Sprintf("k%d", i))}
+		if !CompileCached(p).Matches(fmt.Sprintf("k%d", i)) {
+			t.Fatalf("entry %d mismatched", i)
+		}
+	}
+	if !CompileCached(phonePattern()).Matches("734-645-8397") {
+		t.Error("cache unusable after limit reset")
+	}
+}
+
+func TestCompileCachedEmptyPattern(t *testing.T) {
+	c := CompileCached(nil)
+	if !c.Matches("") || c.Matches("x") {
+		t.Error("empty pattern must match exactly the empty string")
+	}
+}

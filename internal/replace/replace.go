@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"clx/internal/pattern"
+	"clx/internal/rematch"
 	"clx/internal/unifi"
 )
 
@@ -160,9 +161,12 @@ func (op Op) String() string {
 }
 
 // Apply applies the replace operation to s. ok is false when s does not
-// match the operation's pattern.
+// match the operation's pattern. Matching goes through the process-wide
+// compile cache: applying one operation row by row — the preview table, the
+// saved-program path, the CLI — reuses a single prepared matcher instead of
+// rebuilding backtracking state per row.
 func (op Op) Apply(s string) (string, bool) {
-	spans, match := op.Source.Match(s)
+	spans, match := rematch.CompileCached(op.Source.Tokens()).Match(s)
 	if !match {
 		return "", false
 	}

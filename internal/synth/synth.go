@@ -14,6 +14,7 @@ import (
 	"clx/internal/align"
 	"clx/internal/cluster"
 	"clx/internal/mdl"
+	"clx/internal/parallel"
 	"clx/internal/pattern"
 	"clx/internal/rematch"
 	"clx/internal/token"
@@ -35,6 +36,12 @@ type Options struct {
 	// DisableCombine uses single-token alignment only (no sequential
 	// extract combining). Ablation option.
 	DisableCombine bool
+	// Workers bounds the goroutine fan-out of synthesis and transform: the
+	// per-source trySolve calls of Algorithm 2 are independent, as are the
+	// per-row applications of the synthesized program. 0 means one worker
+	// per CPU, 1 runs serially. Output is byte-identical for every worker
+	// count.
+	Workers int
 }
 
 // DefaultOptions returns the options used by the CLX prototype.
@@ -83,44 +90,85 @@ func Synthesize(h *cluster.Hierarchy, target pattern.Pattern, opts Options) *Res
 	}
 	res := &Result{Target: target, Hierarchy: h, opts: opts}
 
+	// Clean-row detection matches every row against one pattern: shard the
+	// rows, share one cached compiled target across shards (and with the
+	// later Transform).
+	tgt := rematch.CompileCached(target.Tokens())
+	isClean := make([]bool, len(h.Data))
+	parallel.For(opts.Workers, len(h.Data), func(i int) {
+		isClean[i] = tgt.Matches(h.Data[i])
+	})
 	clean := make(map[int]bool)
-	for i, s := range h.Data {
-		if target.Matches(s) {
+	for i, c := range isClean {
+		if c {
 			res.CleanRows = append(res.CleanRows, i)
 			clean[i] = true
 		}
 	}
 
 	// Qunsolved seeded with the hierarchy roots (a virtual root's
-	// children).
+	// children). The serial algorithm pops nodes FIFO, but each node's
+	// outcome (skip / solved / descend) depends only on the node itself —
+	// never on the outcome of another node — so every frontier batch fans
+	// the expensive trySolve calls out across workers and then reduces the
+	// outcomes serially in queue order. Source order, unmatched-row order
+	// and the enqueue order of children are exactly those of the serial
+	// traversal, for any worker count.
 	queue := append([]*cluster.Node{}, h.Roots()...)
 	for len(queue) > 0 {
-		node := queue[0]
-		queue = queue[1:]
-		if nodeAllClean(node, clean) {
-			continue // nothing to transform under this node
-		}
-		if node.Pattern.Equal(target) {
-			continue // identity; rows handled via CleanRows
-		}
-		if ss, ok := trySolve(node, target, opts); ok {
-			res.Sources = append(res.Sources, ss)
-			continue
-		}
-		if len(node.Children) == 0 {
-			// Rejected leaf: its rows match no source candidate.
-			for _, c := range node.Leaves {
-				for _, ri := range c.Rows {
-					if !clean[ri] {
-						res.UnmatchedRows = append(res.UnmatchedRows, ri)
+		batch := queue
+		queue = nil
+		outcomes := make([]synthOutcome, len(batch))
+		parallel.For(opts.Workers, len(batch), func(i int) {
+			outcomes[i] = solveNode(batch[i], target, clean, opts)
+		})
+		for i, node := range batch {
+			o := outcomes[i]
+			switch {
+			case o.skip:
+				// Nothing to transform under this node, or identity with
+				// the target; rows handled via CleanRows.
+			case o.ss != nil:
+				res.Sources = append(res.Sources, o.ss)
+			case len(node.Children) == 0:
+				// Rejected leaf: its rows match no source candidate.
+				for _, c := range node.Leaves {
+					for _, ri := range c.Rows {
+						if !clean[ri] {
+							res.UnmatchedRows = append(res.UnmatchedRows, ri)
+						}
 					}
 				}
+			default:
+				queue = append(queue, node.Children...)
 			}
-			continue
 		}
-		queue = append(queue, node.Children...)
 	}
 	return res
+}
+
+// synthOutcome is the per-node result of one frontier batch: skip (all rows
+// clean or identity with the target), solved (ss != nil), or neither —
+// descend into children / flag leaf rows.
+type synthOutcome struct {
+	ss   *SourceSynthesis
+	skip bool
+}
+
+// solveNode classifies one hierarchy node; it only reads the node, the
+// target and the frozen clean set, so frontier batches may run it
+// concurrently.
+func solveNode(node *cluster.Node, target pattern.Pattern, clean map[int]bool, opts Options) synthOutcome {
+	if nodeAllClean(node, clean) {
+		return synthOutcome{skip: true}
+	}
+	if node.Pattern.Equal(target) {
+		return synthOutcome{skip: true}
+	}
+	if ss, ok := trySolve(node, target, opts); ok {
+		return synthOutcome{ss: ss}
+	}
+	return synthOutcome{}
 }
 
 func nodeAllClean(n *cluster.Node, clean map[int]bool) bool {
@@ -317,24 +365,30 @@ func (r *Result) Refine(srcIdx int) error {
 
 // Transform applies the synthesized program to the profiled data: rows
 // already matching the target are copied through; rows covered by no source
-// are copied through and flagged.
+// are copied through and flagged. Rows are independent, so application is
+// sharded across the configured workers; output rows are written by index
+// and flagged indices gathered in shard order, so both are byte-identical
+// to a serial scan.
 func (r *Result) Transform() (out []string, flagged []int) {
 	data := r.Hierarchy.Data
 	prog := r.Program().Compile()
-	target := rematch.Compile(r.Target.Tokens())
+	target := rematch.CompileCached(r.Target.Tokens())
 	out = make([]string, len(data))
-	for i, s := range data {
-		if target.Matches(s) {
-			out[i] = s
-			continue
+	flagged = parallel.Gather(r.opts.Workers, len(data), func(lo, hi int, emit func(int)) {
+		for i := lo; i < hi; i++ {
+			s := data[i]
+			if target.Matches(s) {
+				out[i] = s
+				continue
+			}
+			t, err := prog.Apply(s)
+			if err != nil {
+				out[i] = s
+				emit(i)
+				continue
+			}
+			out[i] = t
 		}
-		t, err := prog.Apply(s)
-		if err != nil {
-			out[i] = s
-			flagged = append(flagged, i)
-			continue
-		}
-		out[i] = t
-	}
+	})
 	return out, flagged
 }

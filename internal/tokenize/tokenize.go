@@ -52,17 +52,37 @@ func Tokenize(s string) []token.Token {
 	return out
 }
 
-// classify returns the most precise base class describing r, or
-// token.Literal when r is not alphanumeric.
-func classify(r rune) token.Class {
-	switch {
-	case r >= '0' && r <= '9':
-		return token.Digit
-	case r >= 'a' && r <= 'z':
-		return token.Lower
-	case r >= 'A' && r <= 'Z':
-		return token.Upper
-	default:
-		return token.Literal
+// asciiClass maps every ASCII code point to its most precise base class
+// (token.Literal for non-alphanumerics). classify sits on the per-byte hot
+// path of Tokenize — one lookup per input byte across the whole column — so
+// the class is precomputed instead of re-branching per rune.
+var asciiClass = func() (tbl [128]token.Class) {
+	for r := range tbl {
+		switch {
+		case r >= '0' && r <= '9':
+			tbl[r] = token.Digit
+		case r >= 'a' && r <= 'z':
+			tbl[r] = token.Lower
+		case r >= 'A' && r <= 'Z':
+			tbl[r] = token.Upper
+		default:
+			tbl[r] = token.Literal
+		}
 	}
+	return tbl
+}()
+
+// classify returns the most precise base class describing r, or
+// token.Literal when r is not alphanumeric. ASCII resolves through the
+// precomputed table. Non-ASCII runes are always literals: CLX base classes
+// are ASCII-only (token.Class.Contains), so a rune the unicode tables deem
+// a digit or letter must still be a literal for the derived pattern to
+// match the source byte for byte. (A unicode.IsDigit/IsLetter fallback was
+// considered and rejected for exactly that reason — it could only disagree
+// with the matcher; see DESIGN.md §7.)
+func classify(r rune) token.Class {
+	if r >= 0 && r < 128 {
+		return asciiClass[r]
+	}
+	return token.Literal
 }

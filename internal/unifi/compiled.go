@@ -21,12 +21,15 @@ type compiledCase struct {
 	plan    Plan
 }
 
-// Compile prepares the program for repeated application.
+// Compile prepares the program for repeated application. Case matchers
+// come from the process-wide compile cache, so recompiling the same program
+// — or another program sharing source patterns, e.g. across clxd requests
+// over similar columns — reuses the prepared matchers.
 func (pr Program) Compile() *CompiledProgram {
 	cp := &CompiledProgram{cases: make([]compiledCase, len(pr.Cases))}
 	for i, c := range pr.Cases {
 		cp.cases[i] = compiledCase{
-			matcher: rematch.Compile(c.Source.Tokens()),
+			matcher: rematch.CompileCached(c.Source.Tokens()),
 			plan:    c.Plan,
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"clx/internal/pattern"
+	"clx/internal/rematch"
 )
 
 // Guard is an optional content condition on a Switch case.
@@ -28,9 +29,10 @@ type TokenIs struct {
 	Value string
 }
 
-// Holds implements Guard.
+// Holds implements Guard. Matching goes through the process-wide compile
+// cache: a guard is evaluated once per row of its column.
 func (g TokenIs) Holds(source pattern.Pattern, s string) bool {
-	spans, ok := source.Match(s)
+	spans, ok := rematch.CompileCached(source.Tokens()).Match(s)
 	if !ok || g.I < 1 || g.I > len(spans) {
 		return false
 	}
@@ -54,16 +56,20 @@ type GuardedProgram struct {
 	Cases []GuardedCase
 }
 
-// Apply transforms s with the first applicable case.
+// Apply transforms s with the first applicable case. Case patterns match
+// through the process-wide compile cache, and the match spans feed the plan
+// directly, so each row is matched once per candidate case rather than once
+// for the predicate and again for the evaluation.
 func (gp GuardedProgram) Apply(s string) (string, error) {
 	for _, c := range gp.Cases {
-		if !c.Source.Matches(s) {
+		spans, ok := rematch.CompileCached(c.Source.Tokens()).Match(s)
+		if !ok {
 			continue
 		}
 		if c.Guard != nil && !c.Guard.Holds(c.Source, s) {
 			continue
 		}
-		return c.Plan.Apply(c.Source, s)
+		return c.Plan.applySpans(s, spans)
 	}
 	return "", ErrNoMatch
 }

@@ -1,0 +1,89 @@
+// Determinism of the parallel pipeline: for every task of the 47-task
+// benchmark suite and every worker count in {1, 2, 4, 8}, the full
+// profile → synthesize → transform pipeline must produce output
+// byte-identical to the serial (Workers=1) baseline — cluster order and
+// hierarchy levels, plan ranking per source, transformed rows, and
+// clean/unmatched/flagged index lists. This is the contract that lets
+// Workers default to auto without perturbing anything the user verifies.
+package clx_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	clx "clx"
+	"clx/internal/benchsuite"
+	"clx/internal/simuser"
+)
+
+// pipelineFingerprint renders everything user-visible about one session
+// run — any parallel/serial divergence shows up as a text diff.
+func pipelineFingerprint(inputs []string, targets []clx.Pattern, workers int) string {
+	opts := clx.DefaultOptions()
+	opts.Workers = workers
+	sess := clx.NewSession(inputs, opts)
+
+	var b strings.Builder
+	b.WriteString("clusters:\n")
+	for _, c := range sess.Clusters() {
+		fmt.Fprintf(&b, "  %s count=%d sample=%q rows=%v\n", c.Pattern, c.Count, c.Sample, c.Rows)
+	}
+	for l := 0; l < sess.Levels(); l++ {
+		fmt.Fprintf(&b, "level %d:\n", l)
+		for _, c := range sess.Level(l) {
+			fmt.Fprintf(&b, "  %s count=%d\n", c.Pattern, c.Count)
+		}
+	}
+	for _, target := range targets {
+		fmt.Fprintf(&b, "target %s\n", target)
+		tr, err := sess.Label(target)
+		if err != nil {
+			fmt.Fprintf(&b, "  label error: %v\n", err)
+			continue
+		}
+		b.WriteString(tr.Explain())
+		for i := range tr.Sources() {
+			fmt.Fprintf(&b, "  alternatives[%d]:\n", i)
+			for _, alt := range tr.Alternatives(i) {
+				fmt.Fprintf(&b, "    %s -> %q\n", alt.NLRegex(), alt.Replacement)
+			}
+		}
+		out, flagged := tr.Run()
+		fmt.Fprintf(&b, "  out=%q\n  flagged=%v clean=%v unmatched=%v\n",
+			out, flagged, tr.Clean(), tr.Unmatched())
+	}
+	return b.String()
+}
+
+func TestParallelPipelineDeterminism(t *testing.T) {
+	tasks := benchsuite.Tasks()
+	if len(tasks) < 47 {
+		t.Fatalf("benchmark suite has %d tasks, want >= 47", len(tasks))
+	}
+	for _, task := range tasks {
+		task := task
+		t.Run(task.Name, func(t *testing.T) {
+			t.Parallel()
+			targets := simuser.SelectTargets(task.Inputs, task.Outputs)
+			serial := pipelineFingerprint(task.Inputs, targets, 1)
+			for _, w := range []int{2, 4, 8} {
+				got := pipelineFingerprint(task.Inputs, targets, w)
+				if got != serial {
+					t.Fatalf("workers=%d diverges from serial:\n%s", w, firstDiff(serial, got))
+				}
+			}
+		})
+	}
+}
+
+// firstDiff locates the first differing line of two multi-line dumps.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  serial:   %s\n  parallel: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("length differs: serial %d lines, parallel %d lines", len(al), len(bl))
+}

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"clx/internal/parallel"
 	"clx/internal/pattern"
+	"clx/internal/rematch"
 	"clx/internal/unifi"
 )
 
@@ -17,6 +19,9 @@ import (
 type SavedProgram struct {
 	target pattern.Pattern
 	prog   unifi.GuardedProgram
+	// Workers bounds the goroutine fan-out of Transform: 0 uses one worker
+	// per CPU, 1 runs serially. Output is identical for every setting.
+	Workers int
 }
 
 type savedJSON struct {
@@ -77,7 +82,7 @@ func (sp *SavedProgram) Target() Pattern { return sp.target }
 // a known format are transformed, anything else is returned unchanged with
 // ok=false.
 func (sp *SavedProgram) Apply(s string) (string, bool) {
-	if sp.target.Matches(s) {
+	if rematch.CompileCached(sp.target.Tokens()).Matches(s) {
 		return s, true
 	}
 	out, err := sp.prog.Apply(s)
@@ -88,15 +93,19 @@ func (sp *SavedProgram) Apply(s string) (string, bool) {
 }
 
 // Transform applies the program to a column, returning the output and the
-// indices of rows left unchanged for review.
+// indices of rows left unchanged for review. Rows are applied across
+// sp.Workers goroutines; output order and flagged order are identical to a
+// serial scan for every worker count.
 func (sp *SavedProgram) Transform(rows []string) (out []string, flagged []int) {
 	out = make([]string, len(rows))
-	for i, s := range rows {
-		v, ok := sp.Apply(s)
-		out[i] = v
-		if !ok {
-			flagged = append(flagged, i)
+	flagged = parallel.Gather(sp.Workers, len(rows), func(lo, hi int, emit func(int)) {
+		for i := lo; i < hi; i++ {
+			v, ok := sp.Apply(rows[i])
+			out[i] = v
+			if !ok {
+				emit(i)
+			}
 		}
-	}
+	})
 	return out, flagged
 }
