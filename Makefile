@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: test race bench pipeline
+.PHONY: test race bench pipeline bench-store
 
 # Tier-1: build + unit tests (ROADMAP.md contract).
 test:
@@ -24,3 +24,8 @@ bench:
 # Regenerate BENCH_pipeline.json (serial-vs-parallel stage timings).
 pipeline:
 	$(GO) run ./cmd/clxbench -exp pipeline
+
+# Regenerate BENCH_store.json (program registry: synthesize-and-register
+# vs apply-by-id, cold vs warm matcher cache).
+bench-store:
+	$(GO) run ./cmd/clxbench -exp store

@@ -24,6 +24,15 @@
 //	    regression-test a saved program: apply it and diff against the
 //	    expected column, exiting non-zero on any mismatch
 //
+// The CLI also speaks the clxd program-registry format. With -store <dir>
+// (the same directory a clxd -store daemon serves), transform registers
+// the verified program durably, apply runs a registered program by id
+// with a drift report on stderr, and programs lists the registry:
+//
+//	clx transform -target P -store /var/lib/clx [-name phones]
+//	clx apply -store /var/lib/clx -id p000001 [-file new.txt]
+//	clx programs -store /var/lib/clx
+//
 // Target patterns may be written in either notation: compact
 // ("<D>3'-'<D>4") or the natural-language display form
 // ("{digit}{3}-{digit}{4}").
@@ -40,6 +49,7 @@ import (
 	"strings"
 
 	clx "clx"
+	"clx/internal/progstore"
 )
 
 func main() {
@@ -68,8 +78,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	program := fs.String("program", "", "saved program file (apply)")
 	spec := fs.String("spec", "", "per-column targets for the table command, e.g. 1=<D>3;2={digit}+")
 	expect := fs.String("expect", "", "expected-output column file (check)")
+	store := fs.String("store", "", "program registry directory shared with clxd (transform, apply, programs)")
+	id := fs.String("id", "", "registry program id (apply), or id to re-register under (transform)")
+	name := fs.String("name", "", "human label for the registered program (transform)")
 	if err := fs.Parse(rest); err != nil {
 		return err
+	}
+	if cmd == "programs" {
+		if *store == "" {
+			return fmt.Errorf("programs requires -store <registry dir>")
+		}
+		return listPrograms(stdout, *store)
 	}
 	if cmd == "table" {
 		var r io.Reader = stdin
@@ -142,8 +161,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "ok: %d rows match\n", len(out))
 		return nil
 	case "apply":
+		if *store != "" {
+			if *id == "" {
+				return fmt.Errorf("apply -store requires -id <program id>")
+			}
+			return applyFromStore(stdout, stderr, *store, *id, data)
+		}
 		if *program == "" {
-			return fmt.Errorf("apply requires -program <saved program file>")
+			return fmt.Errorf("apply requires -program <saved program file> or -store/-id")
 		}
 		raw, err := os.ReadFile(*program)
 		if err != nil {
@@ -180,13 +205,25 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		if cmd == "explain" {
 			return printExplanation(stdout, tr)
 		}
-		if *save != "" {
+		if *save != "" || *store != "" {
 			raw, err := tr.Export()
 			if err != nil {
 				return err
 			}
-			if err := os.WriteFile(*save, raw, 0o644); err != nil {
-				return err
+			if *save != "" {
+				if err := os.WriteFile(*save, raw, 0o644); err != nil {
+					return err
+				}
+			}
+			if *store != "" {
+				repairs, err := parseRepairSpec(*repair)
+				if err != nil {
+					return err
+				}
+				meta := progstore.Meta{ID: *id, Name: *name, RowCount: len(data), Repairs: repairs}
+				if err := registerProgram(stderr, *store, raw, meta); err != nil {
+					return err
+				}
 			}
 		}
 		fmt.Fprint(stderr, tr.Explain())

@@ -1,0 +1,120 @@
+// Bridge between the clx CLI and the clxd program registry: both sides
+// read and write the same on-disk format (internal/progstore WAL +
+// snapshot), so a program verified interactively at the terminal can be
+// served by the daemon, and vice versa.
+package main
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"clx/internal/progstore"
+)
+
+// parseRepairSpec turns the -repair flag ("0=2,3=1") into registry
+// metadata. Validation against the program happens in applyRepairs; this
+// only records what was chosen.
+func parseRepairSpec(spec string) ([]progstore.Repair, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []progstore.Repair
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad repair %q, want source=alt", part)
+		}
+		i, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, err
+		}
+		j, err := strconv.Atoi(kv[1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, progstore.Repair{Source: i, Alt: j})
+	}
+	return out, nil
+}
+
+// registerProgram durably registers an exported program in the registry
+// at dir and reports the assigned id and version to stderr.
+func registerProgram(stderr io.Writer, dir string, raw []byte, meta progstore.Meta) error {
+	st, err := progstore.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	entry, err := st.Register(raw, meta)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "registered %s v%d in %s (target %s)\n",
+		entry.ID, entry.Version, dir, entry.Target)
+	return nil
+}
+
+// applyFromStore runs the hot path of the registry — apply by id, no
+// synthesis — writing the transformed column to stdout and the drift
+// report to stderr.
+func applyFromStore(stdout, stderr io.Writer, dir, id string, rows []string) error {
+	st, err := progstore.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	res, err := st.Apply(id, rows, 0)
+	if err != nil {
+		return err
+	}
+	for _, s := range res.Output {
+		fmt.Fprintln(stdout, s)
+	}
+	if len(res.Flagged) > 0 {
+		fmt.Fprintf(stderr, "%d rows matched no pattern and were left unchanged: rows %v\n",
+			len(res.Flagged), res.Flagged)
+	}
+	printDriftReport(stderr, res.Drift)
+	return nil
+}
+
+func printDriftReport(w io.Writer, d progstore.DriftReport) {
+	if d.Drifted == 0 {
+		return
+	}
+	fmt.Fprintf(w, "drift: %d/%d rows in formats the program does not cover\n", d.Drifted, d.Checked)
+	for _, c := range d.Clusters {
+		note := "target unreachable; needs re-labeling"
+		if c.Resynthesizable {
+			note = "re-register to extend the program"
+		}
+		fmt.Fprintf(w, "  %-36s %5d rows   e.g. %s   (%s)\n", c.NL, c.Count, c.Samples[0], note)
+	}
+}
+
+// listPrograms prints the registry at dir, one program per line.
+func listPrograms(stdout io.Writer, dir string) error {
+	st, err := progstore.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	entries := st.List()
+	if len(entries) == 0 {
+		fmt.Fprintln(stdout, "registry is empty")
+		return nil
+	}
+	for _, e := range entries {
+		name := e.Name
+		if name == "" {
+			name = "-"
+		}
+		fmt.Fprintf(stdout, "%-8s v%-3d %-20s %-32s %d sources, %d rows, %s\n",
+			e.ID, e.Version, name, e.Target, len(e.Sources), e.RowCount,
+			time.Unix(e.CreatedAtUnix, 0).UTC().Format("2006-01-02 15:04"))
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The CLI writes the same registry clxd serves: transform -store
+// registers, programs lists, apply -store/-id runs without re-synthesis
+// and reports drift on stderr.
+func TestStoreBridgeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	out, errw, err := runCLI(t, phoneInput, "transform",
+		"-target", "<D>3'-'<D>3'-'<D>4", "-store", dir, "-name", "phones")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw, "registered p000001 v1") {
+		t.Fatalf("stderr missing registration: %q", errw)
+	}
+	wantOut := out
+
+	list, _, err := runCLI(t, "", "programs", "-store", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(list, "p000001") || !strings.Contains(list, "phones") ||
+		!strings.Contains(list, "<D>3'-'<D>3'-'<D>4") {
+		t.Fatalf("programs listing = %q", list)
+	}
+
+	// Apply by id over the original rows: byte-identical to transform.
+	out, errw, err = runCLI(t, phoneInput, "apply", "-store", dir, "-id", "p000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != wantOut {
+		t.Errorf("apply output %q differs from transform output %q", out, wantOut)
+	}
+	// The N/A row never matched a source pattern at synthesis time either;
+	// the drift report owns every uncovered row, known or novel.
+	if !strings.Contains(errw, "drift: 1/5 rows") || !strings.Contains(errw, "N/A") {
+		t.Errorf("stderr missing N/A drift: %q", errw)
+	}
+
+	// A novel format drifts and is reported.
+	_, errw, err = runCLI(t, "(734) 645-8397\n+1 917 555 0199\n", "apply", "-store", dir, "-id", "p000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw, "drift: 1/2 rows") || !strings.Contains(errw, "+1 917 555 0199") {
+		t.Errorf("stderr missing drift report: %q", errw)
+	}
+
+	if _, _, err := runCLI(t, "x\n", "apply", "-store", dir, "-id", "p999999"); err == nil {
+		t.Error("apply with unknown id should fail")
+	}
+	if _, _, err := runCLI(t, "x\n", "apply", "-store", dir); err == nil {
+		t.Error("apply -store without -id should fail")
+	}
+}

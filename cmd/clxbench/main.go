@@ -53,6 +53,7 @@ func experimentsMap() map[string]func() {
 		"appendixE":    appendixE,
 		"scaling":      scaling,
 		"pipeline":     pipeline,
+		"store":        storeExperiment,
 		"panel":        panel,
 		"markdown":     markdown,
 		"quiz":         quiz,

@@ -1,0 +1,169 @@
+// The store experiment: the registry's reason to exist, measured. One
+// synthesize-and-register (the expensive verified path) against many
+// apply-by-id calls, cold and warm compiled-matcher cache, persisted as
+// BENCH_store.json.
+//
+//	clxbench -exp store [-rows n] [-reps n] [-store-out f]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	clx "clx"
+	"clx/internal/dataset"
+	"clx/internal/pattern"
+	"clx/internal/progstore"
+	"clx/internal/rematch"
+)
+
+var storeOut = flag.String("store-out", "BENCH_store.json",
+	"store experiment: output JSON path ('' disables the file)")
+
+// storeReport is the persisted BENCH_store.json document.
+type storeReport struct {
+	GeneratedUnix int64   `json:"generated_unix"`
+	Rows          int     `json:"rows"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Target        string  `json:"target"`
+	RegisterMS    float64 `json:"synthesize_and_register_ms"`
+	ReopenMS      float64 `json:"reopen_recover_ms"`
+	ApplyColdMS   float64 `json:"apply_by_id_cold_cache_ms"`
+	ApplyWarmMS   float64 `json:"apply_by_id_warm_cache_ms"`
+	// RegisterOverWarm is how many warm applies one synthesis buys.
+	RegisterOverWarm float64 `json:"register_over_warm_apply"`
+}
+
+func storeExperiment() {
+	rows, _ := dataset.Phones(*pipelineRows, 6, 77)
+	target := pattern.MustParse("<D>3'-'<D>3'-'<D>4")
+	dir, err := os.MkdirTemp("", "clxbench-store-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Printf("== Program store: synthesize-and-register vs apply-by-id (rows=%d, best of %d) ==\n",
+		len(rows), *pipelineReps)
+	report := storeReport{
+		GeneratedUnix: time.Now().Unix(),
+		Rows:          len(rows),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Target:        target.String(),
+	}
+	best := func(cur, v float64) float64 {
+		if cur == 0 || v < cur {
+			return v
+		}
+		return cur
+	}
+
+	// Synthesize-and-register: profile, Algorithm 2, export, durable write.
+	var id string
+	for r := 0; r < *pipelineReps; r++ {
+		st, err := progstore.Open(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clxbench:", err)
+			return
+		}
+		rematch.ResetCache()
+		t0 := time.Now()
+		sess := clx.NewSession(rows)
+		tr, err := sess.Label(target)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clxbench:", err)
+			return
+		}
+		raw, err := tr.Export()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clxbench:", err)
+			return
+		}
+		entry, err := st.Register(raw, progstore.Meta{Name: "bench", RowCount: len(rows)})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clxbench:", err)
+			return
+		}
+		tr.Run() // both legs end with the transformed column in hand
+		report.RegisterMS = best(report.RegisterMS, ms(time.Since(t0)))
+		id = entry.ID
+		st.Close()
+	}
+
+	// Reopen: recovery cost of snapshot + WAL replay.
+	var st *progstore.Store
+	for r := 0; r < *pipelineReps; r++ {
+		if st != nil {
+			st.Close()
+		}
+		t0 := time.Now()
+		st, err = progstore.Open(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clxbench:", err)
+			return
+		}
+		report.ReopenMS = best(report.ReopenMS, ms(time.Since(t0)))
+	}
+	st.Close()
+
+	// Cold apply: the first request a freshly restarted daemon serves —
+	// recovery, program decode, and every matcher compiled from scratch.
+	for r := 0; r < *pipelineReps; r++ {
+		rematch.ResetCache()
+		t0 := time.Now()
+		st, err = progstore.Open(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clxbench:", err)
+			return
+		}
+		if _, err := st.Apply(id, rows, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "clxbench:", err)
+			return
+		}
+		report.ApplyColdMS = best(report.ApplyColdMS, ms(time.Since(t0)))
+		if r < *pipelineReps-1 {
+			st.Close()
+		}
+	}
+	defer st.Close()
+
+	// Warm apply: the steady state, program and matchers resident.
+	for r := 0; r < *pipelineReps; r++ {
+		t0 := time.Now()
+		if _, err := st.Apply(id, rows, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "clxbench:", err)
+			return
+		}
+		report.ApplyWarmMS = best(report.ApplyWarmMS, ms(time.Since(t0)))
+	}
+	report.RegisterOverWarm = report.RegisterMS / report.ApplyWarmMS
+
+	fmt.Printf("%-28s %10.2fms\n", "synthesize-and-register", report.RegisterMS)
+	fmt.Printf("%-28s %10.2fms\n", "reopen (snapshot+WAL)", report.ReopenMS)
+	fmt.Printf("%-28s %10.2fms\n", "apply by id, cold cache", report.ApplyColdMS)
+	fmt.Printf("%-28s %10.2fms\n", "apply by id, warm cache", report.ApplyWarmMS)
+	fmt.Printf("%-28s %9.1fx\n", "register / warm apply", report.RegisterOverWarm)
+
+	if *storeOut == "" {
+		return
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false) // keep "<D>3" readable
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench: encode store report:", err)
+		return
+	}
+	if err := os.WriteFile(*storeOut, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench: write store report:", err)
+		return
+	}
+	fmt.Printf("wrote %s\n", *storeOut)
+}

@@ -1,38 +1,104 @@
 // Command clxd serves the CLX engine over HTTP as a small JSON API, the
 // packaging a data-wrangling front end or pipeline would integrate:
 //
-//	clxd -addr :8080
+//	clxd -addr :8080 [-workers n] [-store dir]
 //
 //	POST /v1/cluster    {"rows": [...]}                 -> pattern clusters
 //	POST /v1/transform  {"rows": [...], "target": "…",  -> program + output
 //	                     "repairs": [{"source":0,"alt":1}]}
+//	POST /v1/apply      {"rows": [...], "program": {…}} -> output (stateless)
 //	GET  /healthz
+//
+// With -store <dir> the daemon keeps a persistent program registry: the
+// synthesize-once / apply-many split as API surface. Programs registered
+// via POST /v1/programs survive restarts (append-only WAL + snapshot in
+// <dir>) and are applied by id without any re-synthesis; every apply
+// carries a drift report naming the live-data formats the stored program
+// no longer covers. Without -store the registry is in-memory only.
+//
+//	POST   /v1/programs             {"rows": [...], "target": "…", "name": "…"}
+//	GET    /v1/programs             registry listing (metadata only)
+//	GET    /v1/programs/{id}        full entry incl. the auditable program
+//	DELETE /v1/programs/{id}
+//	POST   /v1/programs/{id}/apply  {"rows": [...]} -> output + drift report
 //
 // Target patterns accept both notations ("<D>3'-'<D>4" or
 // "{digit}{3}-{digit}{4}"). The transform response carries, per source
 // pattern, the rendered Replace operation, a before/after preview, and the
 // ranked alternatives, so a client can implement the full
 // verify-and-repair loop.
+//
+// Errors are a uniform JSON envelope {"error": "..."} with status 400
+// (malformed request), 404 (unknown program id), or 413 (body over the
+// request cap). The server carries read/write/idle timeouts and shuts
+// down gracefully on SIGINT/SIGTERM, flushing the registry WAL into its
+// snapshot before exiting.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	clx "clx"
+	"clx/internal/progstore"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0,
 		"goroutine fan-out per request for profile/synthesize/transform (0 = one per CPU, 1 = serial)")
+	storeDir := flag.String("store", "",
+		"program registry directory (WAL + snapshot); empty keeps the registry in memory only")
 	flag.Parse()
 	srvOpts.Workers = *workers
-	log.Printf("clxd listening on %s (workers=%d, 0=auto)", *addr, *workers)
-	log.Fatal(http.ListenAndServe(*addr, newMux()))
+
+	st, err := progstore.Open(*storeDir)
+	if err != nil {
+		log.Fatal("clxd: ", err)
+	}
+	srv := newServer(st)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.mux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("clxd listening on %s (workers=%d, 0=auto; store=%q)", *addr, *workers, *storeDir)
+
+	select {
+	case err := <-errc:
+		st.Close()
+		log.Fatal("clxd: ", err)
+	case <-ctx.Done():
+		stop()
+		log.Print("clxd: signal received, shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Print("clxd: shutdown: ", err)
+		}
+		// Fold the registry WAL into its snapshot so the next start
+		// recovers from a single file read.
+		if err := st.Close(); err != nil {
+			log.Fatal("clxd: registry close: ", err)
+		}
+	}
 }
 
 // srvOpts are the session options every handler uses; main overrides the
@@ -41,7 +107,14 @@ func main() {
 // columns share prepared matchers across handlers regardless of fan-out.
 var srvOpts = clx.DefaultOptions()
 
-func newMux() *http.ServeMux {
+// server carries the shared daemon state: the program registry.
+type server struct {
+	store *progstore.Store
+}
+
+func newServer(st *progstore.Store) *server { return &server{store: st} }
+
+func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -51,25 +124,46 @@ func newMux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/transform", handleTransform)
 	mux.HandleFunc("POST /v1/tables/unify", handleUnify)
 	mux.HandleFunc("POST /v1/apply", handleApply)
+	mux.HandleFunc("POST /v1/programs", s.handleProgramRegister)
+	mux.HandleFunc("GET /v1/programs", s.handleProgramList)
+	mux.HandleFunc("GET /v1/programs/{id}", s.handleProgramGet)
+	mux.HandleFunc("DELETE /v1/programs/{id}", s.handleProgramDelete)
+	mux.HandleFunc("POST /v1/programs/{id}/apply", s.handleProgramApply)
 	return mux
 }
+
+// maxBody caps every request body; oversized bodies get the 413 envelope.
+// A var so tests can shrink it.
+var maxBody int64 = 32 << 20
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false) // keep "<D>3" readable
+	_ = enc.Encode(v)
+}
+
+// errorJSON is the uniform error envelope every failure path returns.
+type errorJSON struct {
+	Error string `json:"error"`
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, errorJSON{Error: err.Error()})
 }
 
 func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
 	var v T
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&v); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
 		return v, false
 	}
 	return v, true

@@ -17,14 +17,14 @@ func request(t *testing.T, mux *http.ServeMux, method, path, body string) (*http
 }
 
 func TestHealthz(t *testing.T) {
-	rec, body := request(t, newMux(), "GET", "/healthz", "")
+	rec, body := request(t, testMux(t), "GET", "/healthz", "")
 	if rec.Code != http.StatusOK || !strings.Contains(string(body), `"ok":true`) {
 		t.Fatalf("healthz: %d %s", rec.Code, body)
 	}
 }
 
 func TestClusterEndpoint(t *testing.T) {
-	rec, body := request(t, newMux(), "POST", "/v1/cluster",
+	rec, body := request(t, testMux(t), "POST", "/v1/cluster",
 		`{"rows":["(734) 645-8397","734.236.3466","(313) 263-1192"],"levels":true}`)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, body)
@@ -51,7 +51,7 @@ func TestClusterEndpoint(t *testing.T) {
 }
 
 func TestTransformEndpoint(t *testing.T) {
-	rec, body := request(t, newMux(), "POST", "/v1/transform",
+	rec, body := request(t, testMux(t), "POST", "/v1/transform",
 		`{"rows":["(734) 645-8397","734.236.3466","N/A"],"target":"{digit}{3}-{digit}{3}-{digit}{4}"}`)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, body)
@@ -83,13 +83,13 @@ func TestTransformEndpoint(t *testing.T) {
 
 func TestTransformWithRepair(t *testing.T) {
 	body0 := `{"rows":["31/12/2019","28/02/2020","12-31-2019"],"target":"<D>2'-'<D>2'-'<D>4"}`
-	_, raw0 := request(t, newMux(), "POST", "/v1/transform", body0)
+	_, raw0 := request(t, testMux(t), "POST", "/v1/transform", body0)
 	var resp0 transformResponse
 	if err := json.Unmarshal(raw0, &resp0); err != nil {
 		t.Fatal(err)
 	}
 	body1 := `{"rows":["31/12/2019","28/02/2020","12-31-2019"],"target":"<D>2'-'<D>2'-'<D>4","repairs":[{"source":0,"alt":1}]}`
-	_, raw1 := request(t, newMux(), "POST", "/v1/transform", body1)
+	_, raw1 := request(t, testMux(t), "POST", "/v1/transform", body1)
 	var resp1 transformResponse
 	if err := json.Unmarshal(raw1, &resp1); err != nil {
 		t.Fatal(err)
@@ -111,7 +111,7 @@ func TestTransformErrors(t *testing.T) {
 		`{"rows":["a"],"target":"<D>","repairs":[{"source":9,"alt":0}]}`, // bad repair
 	}
 	for _, body := range cases {
-		rec, _ := request(t, newMux(), "POST", "/v1/transform", body)
+		rec, _ := request(t, testMux(t), "POST", "/v1/transform", body)
 		if rec.Code != http.StatusBadRequest {
 			t.Errorf("body %s: status %d, want 400", body, rec.Code)
 		}
@@ -119,7 +119,7 @@ func TestTransformErrors(t *testing.T) {
 }
 
 func TestPreviewRowsZeroDisables(t *testing.T) {
-	_, raw := request(t, newMux(), "POST", "/v1/transform",
+	_, raw := request(t, testMux(t), "POST", "/v1/transform",
 		`{"rows":["(734) 645-8397"],"target":"<D>3'-'<D>3'-'<D>4","preview_rows":0}`)
 	var resp transformResponse
 	if err := json.Unmarshal(raw, &resp); err != nil {
@@ -131,7 +131,7 @@ func TestPreviewRowsZeroDisables(t *testing.T) {
 }
 
 func TestMethodRouting(t *testing.T) {
-	rec, _ := request(t, newMux(), "GET", "/v1/transform", "")
+	rec, _ := request(t, testMux(t), "GET", "/v1/transform", "")
 	if rec.Code == http.StatusOK {
 		t.Error("GET /v1/transform should not be routed")
 	}
@@ -142,7 +142,7 @@ func TestUnifyEndpoint(t *testing.T) {
 		{"name":"std","headers":["Name","Phone"],"rows":[["Kate Fisher","313-263-1192"]]},
 		{"name":"legacy","headers":["phone","name"],"rows":[["(734) 645-0001","Rosa Cole"]]}
 	],"target":0}`
-	rec, raw := request(t, newMux(), "POST", "/v1/tables/unify", body)
+	rec, raw := request(t, testMux(t), "POST", "/v1/tables/unify", body)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, raw)
 	}
@@ -177,7 +177,7 @@ func TestUnifyEndpointErrors(t *testing.T) {
 		`{"tables":[{"headers":["a"],"rows":[["x"]]}],"target":5}`,     // bad target
 	}
 	for _, body := range cases {
-		rec, _ := request(t, newMux(), "POST", "/v1/tables/unify", body)
+		rec, _ := request(t, testMux(t), "POST", "/v1/tables/unify", body)
 		if rec.Code != http.StatusBadRequest {
 			t.Errorf("body %s: status %d, want 400", body, rec.Code)
 		}
@@ -187,7 +187,7 @@ func TestUnifyEndpointErrors(t *testing.T) {
 func TestApplyEndpoint(t *testing.T) {
 	// Synthesize + export via /v1/transform, then run the program on new
 	// rows via /v1/apply.
-	_, raw := request(t, newMux(), "POST", "/v1/transform",
+	_, raw := request(t, testMux(t), "POST", "/v1/transform",
 		`{"rows":["(734) 645-8397","734.236.3466"],"target":"<D>3'-'<D>3'-'<D>4"}`)
 	var tresp transformResponse
 	if err := json.Unmarshal(raw, &tresp); err != nil {
@@ -200,7 +200,7 @@ func TestApplyEndpoint(t *testing.T) {
 		Rows:    []string{"(917) 555-0100", "N/A"},
 		Program: tresp.Program,
 	})
-	rec, raw2 := request(t, newMux(), "POST", "/v1/apply", string(body))
+	rec, raw2 := request(t, testMux(t), "POST", "/v1/apply", string(body))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, raw2)
 	}
@@ -215,7 +215,7 @@ func TestApplyEndpoint(t *testing.T) {
 		t.Errorf("flagged = %v", aresp.Flagged)
 	}
 	// Bad program errors.
-	rec, _ = request(t, newMux(), "POST", "/v1/apply", `{"rows":["x"],"program":{"bad":1}}`)
+	rec, _ = request(t, testMux(t), "POST", "/v1/apply", `{"rows":["x"],"program":{"bad":1}}`)
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("bad program status = %d", rec.Code)
 	}

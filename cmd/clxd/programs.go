@@ -1,0 +1,178 @@
+// Handlers for the persistent program registry: synthesize-and-register,
+// inspect, delete, and the hot apply-by-id path with drift reporting.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	clx "clx"
+	"clx/internal/progstore"
+)
+
+// registerRequest is the POST /v1/programs body: the same synthesis
+// inputs as /v1/transform plus registry metadata.
+type registerRequest struct {
+	Rows []string `json:"rows"`
+	// Target is the desired pattern, compact or NL notation.
+	Target string `json:"target"`
+	// Repairs selects ranked alternatives before export (§6.4); they are
+	// recorded in the entry's synthesis metadata.
+	Repairs []repairJSON `json:"repairs,omitempty"`
+	// Name is an optional human label.
+	Name string `json:"name,omitempty"`
+	// ID re-registers an existing program, bumping its version.
+	ID string `json:"id,omitempty"`
+}
+
+// programEntryJSON is the wire form of a registry entry. Program is
+// omitted in listings and carried on registration/get, where the
+// auditable artifact is the point.
+type programEntryJSON struct {
+	ID            string          `json:"id"`
+	Version       int             `json:"version"`
+	CreatedAtUnix int64           `json:"created_at_unix"`
+	Name          string          `json:"name,omitempty"`
+	Target        string          `json:"target"`
+	Sources       []string        `json:"sources"`
+	RowCount      int             `json:"row_count,omitempty"`
+	Repairs       []repairJSON    `json:"repairs,omitempty"`
+	Program       json.RawMessage `json:"program,omitempty"`
+	Flagged       []int           `json:"flagged,omitempty"`
+}
+
+func toEntryJSON(e progstore.Entry, withProgram bool) programEntryJSON {
+	j := programEntryJSON{
+		ID:            e.ID,
+		Version:       e.Version,
+		CreatedAtUnix: e.CreatedAtUnix,
+		Name:          e.Name,
+		Target:        e.Target,
+		Sources:       e.Sources,
+		RowCount:      e.RowCount,
+	}
+	for _, r := range e.Repairs {
+		j.Repairs = append(j.Repairs, repairJSON{Source: r.Source, Alt: r.Alt})
+	}
+	if withProgram {
+		j.Program = e.Program
+	}
+	return j
+}
+
+// handleProgramRegister synthesizes a program for rows→target (the
+// expensive Algorithm-2 path), applies any repairs, and registers the
+// exported artifact durably. Subsequent applies by id never synthesize.
+func (s *server) handleProgramRegister(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[registerRequest](w, r)
+	if !ok {
+		return
+	}
+	if req.Target == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing target pattern"))
+		return
+	}
+	target, err := clx.ParseAnyPattern(req.Target)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess := clx.NewSession(req.Rows, srvOpts)
+	tr, err := sess.Label(target)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var repairs []progstore.Repair
+	for _, rep := range req.Repairs {
+		if err := tr.Repair(rep.Source, rep.Alt); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		repairs = append(repairs, progstore.Repair{Source: rep.Source, Alt: rep.Alt})
+	}
+	raw, err := tr.Export()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	entry, err := s.store.Register(raw, progstore.Meta{
+		ID:       req.ID,
+		Name:     req.Name,
+		RowCount: len(req.Rows),
+		Repairs:  repairs,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := toEntryJSON(entry, true)
+	// Unmatched rows of the synthesis column: the registered program will
+	// flag these same formats at serving time, so surface them now.
+	resp.Flagged = tr.Unmatched()
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+type programListResponse struct {
+	Programs []programEntryJSON `json:"programs"`
+}
+
+func (s *server) handleProgramList(w http.ResponseWriter, _ *http.Request) {
+	resp := programListResponse{Programs: []programEntryJSON{}}
+	for _, e := range s.store.List() {
+		resp.Programs = append(resp.Programs, toEntryJSON(e, false))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleProgramGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("program %s not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, toEntryJSON(e, true))
+}
+
+func (s *server) handleProgramDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ok, err := s.store.Delete(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("program %s not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// programApplyRequest is the POST /v1/programs/{id}/apply body.
+type programApplyRequest struct {
+	Rows []string `json:"rows"`
+}
+
+// handleProgramApply is the hot path: no profiling, no synthesis — the
+// stored program (decoded once per version) runs over the rows via the
+// process-wide compiled-matcher cache and the worker pool, and the
+// response reports any format drift among the uncovered rows.
+func (s *server) handleProgramApply(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	req, ok := decode[programApplyRequest](w, r)
+	if !ok {
+		return
+	}
+	res, err := s.store.Apply(id, req.Rows, srvOpts.Workers)
+	if err == progstore.ErrNotFound {
+		writeError(w, http.StatusNotFound, fmt.Errorf("program %s not found", id))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}

@@ -1,0 +1,122 @@
+// Append-only JSON-lines write-ahead log. One record per line:
+//
+//	{"op":"put","seq":12,"entry":{...}}    register / version bump
+//	{"op":"del","seq":12,"id":"p000003"}   delete
+//
+// Appends are fsynced before the mutating call returns, so an
+// acknowledged registration survives a crash. Replay tolerates a partial
+// tail — the one failure mode an fsynced append-only file has: a crash
+// mid-write leaves a final line that is incomplete JSON (or lacks its
+// newline), which recovery drops by truncating the file back to the end
+// of the last intact record. A malformed record anywhere earlier is
+// corruption, not a crash artifact, and aborts recovery loudly rather
+// than silently dropping acknowledged writes.
+package progstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+const (
+	opPut    = "put"
+	opDelete = "del"
+)
+
+// walRecord is one log line.
+type walRecord struct {
+	Op    string `json:"op"`
+	Seq   int64  `json:"seq"`
+	Entry *Entry `json:"entry,omitempty"`
+	ID    string `json:"id,omitempty"`
+}
+
+// walFile wraps the open log file.
+type walFile struct {
+	f *os.File
+}
+
+func openWAL(path string) (*walFile, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("progstore: wal: %w", err)
+	}
+	return &walFile{f: f}, nil
+}
+
+// Append writes one record and fsyncs.
+func (w *walFile) Append(rec walRecord) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false) // keep "<D>3" readable
+	if err := enc.Encode(rec); err != nil {
+		return fmt.Errorf("progstore: wal: %w", err)
+	}
+	if _, err := w.f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("progstore: wal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("progstore: wal: %w", err)
+	}
+	return nil
+}
+
+// Truncate empties the log (after its contents were folded into a
+// snapshot).
+func (w *walFile) Truncate() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("progstore: wal: %w", err)
+	}
+	if _, err := w.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("progstore: wal: %w", err)
+	}
+	return w.f.Sync()
+}
+
+func (w *walFile) Close() error { return w.f.Close() }
+
+// replay reads every intact record of the log at path. The tail is
+// partial when the final bytes are not a newline-terminated valid record
+// — a record without its newline, or cut mid-JSON; either way the tail is
+// truncated away in place so the next append starts on a clean record
+// boundary. A malformed record *followed by* intact records fails
+// recovery: that is corruption, not a crash artifact.
+func replay(path string) ([]walRecord, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("progstore: wal: %w", err)
+	}
+
+	var (
+		recs []walRecord
+		good int // offset just past the last intact record
+	)
+	for off := 0; off < len(raw); {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		if nl < 0 {
+			break // newline-less tail: partial append
+		}
+		line := raw[off : off+nl]
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Op == "" {
+			if off+nl+1 < len(raw) {
+				return nil, fmt.Errorf("progstore: wal corrupt at offset %d: intact records follow a malformed record", off)
+			}
+			break // malformed final line: torn tail
+		}
+		recs = append(recs, rec)
+		off += nl + 1
+		good = off
+	}
+	if good < len(raw) {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return nil, fmt.Errorf("progstore: wal: truncate tail: %w", err)
+		}
+	}
+	return recs, nil
+}

@@ -61,6 +61,13 @@ func CompileCached(p []token.Token) *Compiled {
 	return c.(*Compiled)
 }
 
+// ResetCache drops every memoized matcher, forcing subsequent
+// CompileCached calls to recompile. Correctness never depends on cache
+// contents; the only callers are benchmarks measuring cold-start cost
+// (e.g. the first apply after a daemon restart) against the warm steady
+// state.
+func ResetCache() { cache.Store(new(cacheMap)) }
+
 func cacheKey(p []token.Token) string {
 	var b strings.Builder
 	for _, t := range p {

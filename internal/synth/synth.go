@@ -10,6 +10,7 @@ package synth
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"clx/internal/align"
 	"clx/internal/cluster"
@@ -82,9 +83,20 @@ type Result struct {
 	opts Options
 }
 
+// synthesizeCalls counts Synthesize invocations process-wide. The
+// verify-once / apply-many split promises that serving a stored program
+// never re-runs Algorithm 2; tests pin that promise by reading the counter
+// around an apply path.
+var synthesizeCalls atomic.Int64
+
+// SynthesizeCalls returns the number of Synthesize (Algorithm 2) runs in
+// this process.
+func SynthesizeCalls() int64 { return synthesizeCalls.Load() }
+
 // Synthesize runs Algorithm 2 over the hierarchy h with the labeled target
 // pattern.
 func Synthesize(h *cluster.Hierarchy, target pattern.Pattern, opts Options) *Result {
+	synthesizeCalls.Add(1)
 	if opts.K <= 0 {
 		opts.K = DefaultOptions().K
 	}

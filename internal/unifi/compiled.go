@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 
+	"clx/internal/pattern"
 	"clx/internal/rematch"
 )
 
@@ -42,6 +43,72 @@ func (cp *CompiledProgram) Apply(s string) (string, error) {
 		spans, ok := c.matcher.Match(s)
 		if !ok {
 			continue
+		}
+		return c.plan.applySpans(s, spans)
+	}
+	return "", ErrNoMatch
+}
+
+// CompiledGuardedProgram is a GuardedProgram prepared for repeated
+// application — the serving-time hot path. GuardedProgram.Apply resolves
+// each case's matcher through the compile cache on every call, which
+// rebuilds the canonical pattern key per row per case; here the matchers
+// are bound once, so per-row dispatch is just quick-reject and match work.
+// It is safe for concurrent use.
+type CompiledGuardedProgram struct {
+	cases []compiledGuardedCase
+}
+
+type compiledGuardedCase struct {
+	matcher *rematch.Compiled
+	source  pattern.Pattern
+	guard   Guard
+	plan    Plan
+}
+
+// spanGuard is implemented by guards that can be evaluated against the
+// dispatch match's spans, sparing a second match of the row.
+type spanGuard interface {
+	holdsSpans(s string, spans []rematch.Span) bool
+}
+
+func (g TokenIs) holdsSpans(s string, spans []rematch.Span) bool {
+	if g.I < 1 || g.I > len(spans) {
+		return false
+	}
+	return s[spans[g.I-1].Start:spans[g.I-1].End] == g.Value
+}
+
+// Compile binds every case to its process-wide cached matcher.
+func (gp GuardedProgram) Compile() *CompiledGuardedProgram {
+	cp := &CompiledGuardedProgram{cases: make([]compiledGuardedCase, len(gp.Cases))}
+	for i, c := range gp.Cases {
+		cp.cases[i] = compiledGuardedCase{
+			matcher: rematch.CompileCached(c.Source.Tokens()),
+			source:  c.Source,
+			guard:   c.Guard,
+			plan:    c.Plan,
+		}
+	}
+	return cp
+}
+
+// Apply transforms s with the first applicable case, exactly as
+// GuardedProgram.Apply does.
+func (cp *CompiledGuardedProgram) Apply(s string) (string, error) {
+	for _, c := range cp.cases {
+		spans, ok := c.matcher.Match(s)
+		if !ok {
+			continue
+		}
+		if c.guard != nil {
+			if sg, ok := c.guard.(spanGuard); ok {
+				if !sg.holdsSpans(s, spans) {
+					continue
+				}
+			} else if !c.guard.Holds(c.source, s) {
+				continue
+			}
 		}
 		return c.plan.applySpans(s, spans)
 	}

@@ -19,6 +19,10 @@ import (
 type SavedProgram struct {
 	target pattern.Pattern
 	prog   unifi.GuardedProgram
+	// compiled and targetM bind the program's matchers once at load, so
+	// the per-row hot path of Apply never rebuilds compile-cache keys.
+	compiled *unifi.CompiledGuardedProgram
+	targetM  *rematch.Compiled
 	// Workers bounds the goroutine fan-out of Transform: 0 uses one worker
 	// per CPU, 1 runs serially. Output is identical for every setting.
 	Workers int
@@ -72,20 +76,44 @@ func LoadProgram(data []byte) (*SavedProgram, error) {
 	if err := json.Unmarshal([]byte(fmt.Sprintf(`{"cases":%s}`, sj.Cases)), &prog); err != nil {
 		return nil, err
 	}
-	return &SavedProgram{target: target, prog: prog}, nil
+	return &SavedProgram{
+		target:   target,
+		prog:     prog,
+		compiled: prog.Compile(),
+		targetM:  rematch.CompileCached(target.Tokens()),
+	}, nil
 }
 
 // Target returns the program's target pattern.
 func (sp *SavedProgram) Target() Pattern { return sp.target }
 
+// Sources returns the source patterns the program's cases cover, in case
+// order with duplicates removed (guarded cases share a source). Together
+// with Target they are the program's recorded format profile: a row
+// matching none of them is invisible to the program — the drift signal a
+// registry reports at serving time.
+func (sp *SavedProgram) Sources() []Pattern {
+	seen := make(map[string]bool, len(sp.prog.Cases))
+	out := make([]Pattern, 0, len(sp.prog.Cases))
+	for _, c := range sp.prog.Cases {
+		k := c.Source.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, c.Source)
+	}
+	return out
+}
+
 // Apply transforms one value: already-clean values pass through, values of
 // a known format are transformed, anything else is returned unchanged with
 // ok=false.
 func (sp *SavedProgram) Apply(s string) (string, bool) {
-	if rematch.CompileCached(sp.target.Tokens()).Matches(s) {
+	if sp.targetM.Matches(s) {
 		return s, true
 	}
-	out, err := sp.prog.Apply(s)
+	out, err := sp.compiled.Apply(s)
 	if err != nil {
 		return s, false
 	}
