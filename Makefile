@@ -1,19 +1,19 @@
 # Test tiers. Tier-1 is the gate every change must keep green; the race
-# tier additionally runs go vet and the full suite under the race
-# detector, which exercises the parallel pipeline (internal/parallel,
-# the rematch compile cache, and the sharded cluster/synth/transform
-# paths) with worker counts > 1.
+# tier additionally runs the full suite under the race detector, which
+# exercises the parallel pipeline (internal/parallel, the rematch compile
+# cache, the intern table, and the sharded cluster/synth/transform paths)
+# with worker counts > 1.
 
 GO ?= go
 
-.PHONY: test race bench pipeline bench-store
+.PHONY: test race bench bench-profile pipeline profile bench-store
 
-# Tier-1: build + unit tests (ROADMAP.md contract).
+# Tier-1: vet + build + unit tests (ROADMAP.md contract).
 test:
-	$(GO) build ./... && $(GO) test ./...
+	$(GO) vet ./... && $(GO) build ./... && $(GO) test ./...
 
-# Race tier: static checks + race-detector run of every package,
-# including the worker-count determinism suite.
+# Race tier: race-detector run of every package, including the
+# worker-count determinism suite.
 race:
 	$(GO) vet ./... && $(GO) test -race ./...
 
@@ -21,9 +21,21 @@ race:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkParallel' -benchmem .
 
+# Profile hot-path micro-benchmarks with allocation tracking: the
+# zero-allocation tokenizer, the intern table, and the counted profile
+# path against the pre-interning reference implementation.
+bench-profile:
+	$(GO) test -run xxx -bench 'BenchmarkTokenize|BenchmarkIntern|BenchmarkProfile' -benchmem \
+		./internal/tokenize ./internal/intern ./internal/cluster
+
 # Regenerate BENCH_pipeline.json (serial-vs-parallel stage timings).
 pipeline:
 	$(GO) run ./cmd/clxbench -exp pipeline
+
+# Regenerate BENCH_profile.json (counted-profile phase breakdown,
+# rows/sec, allocs/row, distinct-pattern ratio).
+profile:
+	$(GO) run ./cmd/clxbench -exp profile
 
 # Regenerate BENCH_store.json (program registry: synthesize-and-register
 # vs apply-by-id, cold vs warm matcher cache).

@@ -30,6 +30,7 @@ package clx
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"clx/internal/cluster"
 	"clx/internal/parallel"
@@ -118,9 +119,23 @@ type Cluster struct {
 
 // Session is a Cluster–Label–Transform session over one column of data.
 type Session struct {
-	data []string
-	opts Options
-	h    *cluster.Hierarchy
+	data  []string
+	opts  Options
+	h     *cluster.Hierarchy
+	stats ProfileStats
+}
+
+// ProfileStats describes the work the Cluster phase did: input and
+// deduplicated sizes, the leaf pattern count, and the per-phase wall time.
+// The distinct/rows ratio is the lever behind counted profiling — a
+// dup-heavy column tokenizes each value once, not once per row.
+type ProfileStats struct {
+	// Rows is the input column size; DistinctValues the deduplicated size.
+	Rows, DistinctValues int
+	// LeafPatterns is the number of initial (level-0) pattern clusters.
+	LeafPatterns int
+	// Phase wall times for the profile stages.
+	Index, Tokenize, Group, Constants, Refine time.Duration
 }
 
 // NewSession profiles data into pattern clusters (the Cluster phase).
@@ -129,12 +144,26 @@ func NewSession(data []string, opts ...Options) *Session {
 	if len(opts) > 0 {
 		o = opts[0]
 	}
+	h, st := cluster.ProfileWithStats(data, o.clusterOptions())
 	return &Session{
 		data: data,
 		opts: o,
-		h:    cluster.Profile(data, o.clusterOptions()),
+		h:    h,
+		stats: ProfileStats{
+			Rows:           st.Rows,
+			DistinctValues: st.DistinctValues,
+			LeafPatterns:   st.LeafPatterns,
+			Index:          st.Index,
+			Tokenize:       st.Tokenize,
+			Group:          st.Group,
+			Constants:      st.Constants,
+			Refine:         st.Refine,
+		},
 	}
 }
+
+// ProfileStats reports how much work profiling this session's column took.
+func (s *Session) ProfileStats() ProfileStats { return s.stats }
 
 // Data returns the session's input column.
 func (s *Session) Data() []string { return s.h.Data }

@@ -39,6 +39,22 @@ func TestSessionClusters(t *testing.T) {
 	}
 }
 
+func TestSessionProfileStats(t *testing.T) {
+	dup := append(append([]string{}, phones...), phones...)
+	sess := clx.NewSession(dup)
+	st := sess.ProfileStats()
+	if st.Rows != len(dup) {
+		t.Errorf("Rows = %d, want %d", st.Rows, len(dup))
+	}
+	if st.DistinctValues != len(phones) {
+		t.Errorf("DistinctValues = %d, want %d (each phone appears twice)",
+			st.DistinctValues, len(phones))
+	}
+	if st.LeafPatterns != len(sess.Clusters()) {
+		t.Errorf("LeafPatterns = %d, clusters = %d", st.LeafPatterns, len(sess.Clusters()))
+	}
+}
+
 func TestSessionLevels(t *testing.T) {
 	sess := clx.NewSession(phones)
 	if sess.Levels() != 4 {

@@ -20,6 +20,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
 	"os"
 	"sort"
 
@@ -28,7 +31,16 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see -help) or 'all'")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof on this address (e.g. localhost:6060) while experiments run")
 	flag.Parse()
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Print("clxbench: pprof server: ", err)
+			}
+		}()
+	}
 	if err := runExperiment(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "clxbench:", err)
 		os.Exit(1)
@@ -53,6 +65,7 @@ func experimentsMap() map[string]func() {
 		"appendixE":    appendixE,
 		"scaling":      scaling,
 		"pipeline":     pipeline,
+		"profile":      profileExperiment,
 		"store":        storeExperiment,
 		"panel":        panel,
 		"markdown":     markdown,

@@ -5,9 +5,12 @@
 //	clxbench -exp pipeline [-rows n] [-pipeline-out f]
 //
 // Each worker count in the sweep runs the full pipeline over the same
-// generated phone column (the §7.2 scaling scenario); per-stage times are
-// best-of-N to damp scheduler noise, and the speedup column is relative to
-// Workers=1, which executes the exact serial code path.
+// generated phone column (the §7.2 scaling scenario); after one untimed
+// warm-up run, per-stage times are the median over the timed repetitions
+// (median-of-5 by default) to damp scheduler noise, and the speedup column
+// is relative to Workers=1, which executes the exact serial code path.
+// Every run records the GOMAXPROCS it actually executed under, so a sweep
+// from a CPU-capped container reads as what it is.
 package main
 
 import (
@@ -29,13 +32,16 @@ var (
 	pipelineRows = flag.Int("rows", 20000, "pipeline experiment: input column size")
 	pipelineOut  = flag.String("pipeline-out", "BENCH_pipeline.json",
 		"pipeline experiment: output JSON path ('' disables the file)")
-	pipelineReps = flag.Int("reps", 3, "pipeline experiment: repetitions per worker count (best is kept)")
+	pipelineReps = flag.Int("reps", 5, "pipeline experiment: timed repetitions per worker count (median is kept)")
 )
 
 // pipelineRun is one row of the report: per-stage and total wall time for
 // one worker count.
 type pipelineRun struct {
-	Workers     int     `json:"workers"`
+	Workers int `json:"workers"`
+	// GOMAXPROCS is recorded per run: a sweep is only meaningful relative
+	// to the parallelism the runtime actually had.
+	GOMAXPROCS  int     `json:"gomaxprocs"`
 	ProfileMS   float64 `json:"profile_ms"`
 	SynthMS     float64 `json:"synthesize_ms"`
 	TransformMS float64 `json:"transform_ms"`
@@ -66,7 +72,7 @@ func pipelineSweep() []int {
 func pipeline() {
 	rows, _ := dataset.Phones(*pipelineRows, 6, 77)
 	target := pattern.MustParse("<D>3'-'<D>3'-'<D>4")
-	fmt.Printf("== Pipeline: serial vs parallel (rows=%d, GOMAXPROCS=%d, best of %d) ==\n",
+	fmt.Printf("== Pipeline: serial vs parallel (rows=%d, GOMAXPROCS=%d, median of %d) ==\n",
 		len(rows), runtime.GOMAXPROCS(0), *pipelineReps)
 	fmt.Printf("%8s %12s %12s %12s %12s %9s\n",
 		"workers", "profile", "synthesize", "transform", "total", "speedup")
@@ -106,32 +112,37 @@ func pipeline() {
 	fmt.Printf("wrote %s\n", *pipelineOut)
 }
 
-// timePipeline measures each stage best-of-reps at the given worker count.
+// timePipeline measures each stage at the given worker count: one untimed
+// warm-up run, then the per-stage median over reps timed runs.
 func timePipeline(rows []string, target pattern.Pattern, workers, reps int) pipelineRun {
 	co := cluster.DefaultOptions()
 	co.Workers = workers
 	so := synth.DefaultOptions()
 	so.Workers = workers
-	run := pipelineRun{Workers: workers}
-	best := func(cur, v float64) float64 {
-		if cur == 0 || v < cur {
-			return v
-		}
-		return cur
-	}
-	for r := 0; r < reps; r++ {
+	run := pipelineRun{Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	stage := func() (h *cluster.Hierarchy, profile, synthesize, transform float64) {
 		t0 := time.Now()
-		h := cluster.Profile(rows, co)
+		h = cluster.Profile(rows, co)
 		t1 := time.Now()
 		res := synth.Synthesize(h, target, so)
 		t2 := time.Now()
 		res.Transform()
 		t3 := time.Now()
-		run.ProfileMS = best(run.ProfileMS, ms(t1.Sub(t0)))
-		run.SynthMS = best(run.SynthMS, ms(t2.Sub(t1)))
-		run.TransformMS = best(run.TransformMS, ms(t3.Sub(t2)))
-		run.TotalMS = best(run.TotalMS, ms(t3.Sub(t0)))
+		return h, ms(t1.Sub(t0)), ms(t2.Sub(t1)), ms(t3.Sub(t2))
 	}
+	stage() // warm-up: caches, page-in, scheduler settle
+	var profile, synthesize, transform, total []float64
+	for r := 0; r < reps; r++ {
+		_, p, s, tr := stage()
+		profile = append(profile, p)
+		synthesize = append(synthesize, s)
+		transform = append(transform, tr)
+		total = append(total, p+s+tr)
+	}
+	run.ProfileMS = median(profile)
+	run.SynthMS = median(synthesize)
+	run.TransformMS = median(transform)
+	run.TotalMS = median(total)
 	return run
 }
 

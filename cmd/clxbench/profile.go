@@ -1,0 +1,169 @@
+// The profile experiment: counted-profiling throughput on the pipeline
+// dataset, persisted as BENCH_profile.json so the profile hot path's
+// trajectory is tracked across PRs.
+//
+//	clxbench -exp profile [-rows n] [-reps n] [-profile-out f]
+//
+// For each worker count the experiment reports the median-of-reps wall
+// time, rows/sec, allocations per row (from runtime.MemStats deltas), the
+// distinct-value and distinct-pattern ratios that counted profiling
+// exploits, and the per-phase breakdown (value index, tokenize+intern,
+// grouping, constant discovery, refinement) from cluster.ProfileWithStats.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"clx/internal/cluster"
+	"clx/internal/dataset"
+)
+
+var profileOut = flag.String("profile-out", "BENCH_profile.json",
+	"profile experiment: output JSON path ('' disables the file)")
+
+// profilePhases is the per-phase breakdown of one run, milliseconds.
+type profilePhases struct {
+	IndexMS     float64 `json:"index_ms"`
+	TokenizeMS  float64 `json:"tokenize_ms"`
+	GroupMS     float64 `json:"group_ms"`
+	ConstantsMS float64 `json:"constants_ms"`
+	RefineMS    float64 `json:"refine_ms"`
+}
+
+// profileRun is one row of the report: one worker count's medians.
+type profileRun struct {
+	Workers         int           `json:"workers"`
+	GOMAXPROCS      int           `json:"gomaxprocs"`
+	ProfileMS       float64       `json:"profile_ms"`
+	RowsPerSec      float64       `json:"rows_per_sec"`
+	AllocsPerRow    float64       `json:"allocs_per_row"`
+	Phases          profilePhases `json:"phases"`
+	SpeedupVsSerial float64       `json:"speedup_vs_serial"`
+}
+
+// profileReport is the persisted BENCH_profile.json document.
+type profileReport struct {
+	GeneratedUnix  int64        `json:"generated_unix"`
+	Rows           int          `json:"rows"`
+	DistinctValues int          `json:"distinct_values"`
+	LeafPatterns   int          `json:"leaf_patterns"`
+	// DistinctPatternRatio is leaf patterns / rows — the redundancy counted
+	// profiling collapses (1.0 would mean every row has its own pattern).
+	DistinctPatternRatio float64      `json:"distinct_pattern_ratio"`
+	Reps                 int          `json:"reps"`
+	Runs                 []profileRun `json:"runs"`
+}
+
+func profileExperiment() {
+	rows, _ := dataset.Phones(*pipelineRows, 6, 77)
+	reps := *pipelineReps
+	fmt.Printf("== Profile: counted clustering (rows=%d, GOMAXPROCS=%d, median of %d) ==\n",
+		len(rows), runtime.GOMAXPROCS(0), reps)
+	fmt.Printf("%8s %12s %12s %10s %9s  %s\n",
+		"workers", "profile", "rows/sec", "allocs/row", "speedup", "phases (idx/tok/grp/const/refine ms)")
+
+	report := profileReport{
+		GeneratedUnix: time.Now().Unix(),
+		Rows:          len(rows),
+		Reps:          reps,
+	}
+	for _, w := range pipelineSweep() {
+		run, st := timeProfile(rows, w, reps)
+		report.DistinctValues = st.DistinctValues
+		report.LeafPatterns = st.LeafPatterns
+		report.DistinctPatternRatio = float64(st.LeafPatterns) / float64(len(rows))
+		if len(report.Runs) == 0 {
+			run.SpeedupVsSerial = 1
+		} else {
+			run.SpeedupVsSerial = report.Runs[0].ProfileMS / run.ProfileMS
+		}
+		report.Runs = append(report.Runs, run)
+		fmt.Printf("%8d %10.2fms %12.0f %10.2f %8.2fx  %.2f/%.2f/%.2f/%.2f/%.2f\n",
+			run.Workers, run.ProfileMS, run.RowsPerSec, run.AllocsPerRow, run.SpeedupVsSerial,
+			run.Phases.IndexMS, run.Phases.TokenizeMS, run.Phases.GroupMS,
+			run.Phases.ConstantsMS, run.Phases.RefineMS)
+	}
+	fmt.Printf("distinct values %d, leaf patterns %d (pattern ratio %.5f)\n",
+		report.DistinctValues, report.LeafPatterns, report.DistinctPatternRatio)
+	if *profileOut == "" {
+		return
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench: encode profile report:", err)
+		return
+	}
+	if err := os.WriteFile(*profileOut, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench: write profile report:", err)
+		return
+	}
+	fmt.Printf("wrote %s\n", *profileOut)
+}
+
+// timeProfile runs Profile reps times (after one warm-up) at the given
+// worker count and reports per-stat medians plus an allocation count
+// measured on a dedicated run.
+func timeProfile(rows []string, workers, reps int) (profileRun, *cluster.Stats) {
+	co := cluster.DefaultOptions()
+	co.Workers = workers
+	run := profileRun{Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	// Warm-up: page in the data and let the runtime settle.
+	_, last := cluster.ProfileWithStats(rows, co)
+
+	totals := make([]float64, 0, reps)
+	var idx, tok, grp, cst, ref []float64
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		_, st := cluster.ProfileWithStats(rows, co)
+		totals = append(totals, ms(time.Since(t0)))
+		idx = append(idx, ms(st.Index))
+		tok = append(tok, ms(st.Tokenize))
+		grp = append(grp, ms(st.Group))
+		cst = append(cst, ms(st.Constants))
+		ref = append(ref, ms(st.Refine))
+		last = st
+	}
+	run.ProfileMS = median(totals)
+	run.RowsPerSec = float64(len(rows)) / (run.ProfileMS / 1e3)
+	run.Phases = profilePhases{
+		IndexMS:     median(idx),
+		TokenizeMS:  median(tok),
+		GroupMS:     median(grp),
+		ConstantsMS: median(cst),
+		RefineMS:    median(ref),
+	}
+
+	// Allocations per row, via the global Mallocs counter (covers worker
+	// goroutines too).
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	cluster.Profile(rows, co)
+	runtime.ReadMemStats(&m1)
+	run.AllocsPerRow = float64(m1.Mallocs-m0.Mallocs) / float64(len(rows))
+	return run, last
+}
+
+// median returns the median of vs (mean of the middle pair for even
+// lengths). vs is sorted in place.
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sort.Float64s(vs)
+	mid := len(vs) / 2
+	if len(vs)%2 == 1 {
+		return vs[mid]
+	}
+	return (vs[mid-1] + vs[mid]) / 2
+}

@@ -1,13 +1,18 @@
 // Command clxd serves the CLX engine over HTTP as a small JSON API, the
 // packaging a data-wrangling front end or pipeline would integrate:
 //
-//	clxd -addr :8080 [-workers n] [-store dir]
+//	clxd -addr :8080 [-workers n] [-store dir] [-pprof addr]
 //
 //	POST /v1/cluster    {"rows": [...]}                 -> pattern clusters
 //	POST /v1/transform  {"rows": [...], "target": "…",  -> program + output
 //	                     "repairs": [{"source":0,"alt":1}]}
 //	POST /v1/apply      {"rows": [...], "program": {…}} -> output (stateless)
+//	GET  /v1/stats      process counters (matcher-cache hit/miss/evict)
 //	GET  /healthz
+//
+// With -pprof <addr> the daemon additionally serves net/http/pprof on that
+// address (kept off the API port so profile streaming bypasses its
+// timeouts).
 //
 // With -store <dir> the daemon keeps a persistent program registry: the
 // synthesize-once / apply-many split as API surface. Programs registered
@@ -43,6 +48,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,6 +56,7 @@ import (
 
 	clx "clx"
 	"clx/internal/progstore"
+	"clx/internal/rematch"
 )
 
 func main() {
@@ -58,8 +65,20 @@ func main() {
 		"goroutine fan-out per request for profile/synthesize/transform (0 = one per CPU, 1 = serial)")
 	storeDir := flag.String("store", "",
 		"program registry directory (WAL + snapshot); empty keeps the registry in memory only")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof on this extra address (e.g. localhost:6060); empty disables it")
 	flag.Parse()
 	srvOpts.Workers = *workers
+	if *pprofAddr != "" {
+		// A separate listener so profiling endpoints never share the API
+		// port (or its timeouts — CPU profiles stream for 30s+).
+		go func() {
+			log.Printf("clxd pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Print("clxd: pprof server: ", err)
+			}
+		}()
+	}
 
 	st, err := progstore.Open(*storeDir)
 	if err != nil {
@@ -120,6 +139,7 @@ func (s *server) mux() *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"ok":true}`)
 	})
+	mux.HandleFunc("GET /v1/stats", handleStats)
 	mux.HandleFunc("POST /v1/cluster", handleCluster)
 	mux.HandleFunc("POST /v1/transform", handleTransform)
 	mux.HandleFunc("POST /v1/tables/unify", handleUnify)
@@ -130,6 +150,18 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/programs/{id}", s.handleProgramDelete)
 	mux.HandleFunc("POST /v1/programs/{id}/apply", s.handleProgramApply)
 	return mux
+}
+
+// statsResponse is the GET /v1/stats document: process-level counters a
+// deployment scrapes to watch the daemon — currently the compiled-matcher
+// cache (hit/miss/evict), the knob bounding memory growth on servers that
+// see many distinct programs.
+type statsResponse struct {
+	MatcherCache rematch.CacheStats `json:"matcher_cache"`
+}
+
+func handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{MatcherCache: rematch.Stats()})
 }
 
 // maxBody caps every request body; oversized bodies get the 413 envelope.

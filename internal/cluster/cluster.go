@@ -6,8 +6,9 @@ package cluster
 
 import (
 	"sort"
+	"time"
 
-	"clx/internal/parallel"
+	"clx/internal/intern"
 	"clx/internal/pattern"
 	"clx/internal/token"
 )
@@ -64,123 +65,13 @@ func DefaultOptions() Options {
 // Initial tokenizes every string in data and groups equal patterns into
 // clusters (§4.1), in first-seen order. With opts.DiscoverConstants set,
 // constant base tokens are rewritten to literal tokens afterwards.
+//
+// Profiling runs on the counted path (counted.go): identical rows are
+// tokenized once and patterns are hash-consed into intern ids, with output
+// byte-identical to a per-row scan for any worker count.
 func Initial(data []string, opts Options) []*Cluster {
-	// Tokenization is the per-row hot loop and rows are independent: shard
-	// it across workers. Keys are derived in the same pass — rendering the
-	// pattern string is itself a per-row cost worth parallelizing.
-	pats := make([]pattern.Pattern, len(data))
-	keys := make([]string, len(data))
-	parallel.For(opts.Workers, len(data), func(i int) {
-		pats[i] = pattern.FromString(data[i])
-		keys[i] = pats[i].Key()
-	})
-	// Grouping stays a serial left-to-right scan: first-seen cluster order
-	// is part of the user-facing contract.
-	byKey := make(map[string]*Cluster)
-	var order []*Cluster
-	for i, s := range data {
-		c, ok := byKey[keys[i]]
-		if !ok {
-			c = &Cluster{Pattern: pats[i], Sample: s}
-			byKey[keys[i]] = c
-			order = append(order, c)
-		}
-		c.Rows = append(c.Rows, i)
-	}
-	if opts.DiscoverConstants {
-		discoverConstants(order, data, pats, opts)
-		// Constant substitution can only refine labels, never merge
-		// clusters, so the partition is unchanged.
-	}
-	return order
-}
-
-// discoverConstants rewrites base tokens whose value is constant across all
-// cluster members into literal tokens, following §4.1 (statistics over
-// tokenized strings). Positions and structure are preserved. pats carries
-// the per-row patterns Initial already derived, so no row is re-tokenized.
-func discoverConstants(clusters []*Cluster, data []string, pats []pattern.Pattern, opts Options) {
-	// Corpus statistics: in how many rows does each base-token value occur?
-	// Counts are additive across rows, so each worker accumulates a shard-
-	// local map and the shards merge afterwards; integer addition commutes,
-	// making the merged counts independent of shard boundaries.
-	chunks := parallel.Chunks(opts.Workers, len(data))
-	partials := make([]map[string]int, len(chunks))
-	parallel.For(opts.Workers, len(chunks), func(ci int) {
-		local := make(map[string]int)
-		for i := chunks[ci][0]; i < chunks[ci][1]; i++ {
-			s := data[i]
-			spans, ok := pats[i].Match(s)
-			if !ok {
-				continue
-			}
-			seen := make(map[string]bool)
-			for ti, t := range pats[i].Tokens() {
-				if t.IsLiteral() {
-					continue
-				}
-				seen[s[spans[ti].Start:spans[ti].End]] = true
-			}
-			for v := range seen {
-				local[v]++
-			}
-		}
-		partials[ci] = local
-	})
-	rowsWith := make(map[string]int)
-	for _, local := range partials {
-		for v, n := range local {
-			rowsWith[v] += n
-		}
-	}
-	frequent := func(v string) bool {
-		return float64(rowsWith[v]) >= opts.MinConstantRatio*float64(len(data))
-	}
-	// Per-cluster discovery writes only its own cluster's pattern and reads
-	// the now-frozen rowsWith map — independent per cluster.
-	parallel.For(opts.Workers, len(clusters), func(i int) {
-		discoverClusterConstants(clusters[i], data, frequent, opts)
-	})
-}
-
-// discoverClusterConstants freezes the constant base tokens of one cluster.
-func discoverClusterConstants(c *Cluster, data []string, frequent func(string) bool, opts Options) {
-	if c.Count() < opts.MinConstantSupport {
-		return
-	}
-	toks := c.Pattern.Tokens()
-	// Token spans are identical across members because every member
-	// has the same fixed-quantifier pattern.
-	spans, ok := c.Pattern.Match(data[c.Rows[0]])
-	if !ok {
-		return
-	}
-	newToks := make([]token.Token, len(toks))
-	copy(newToks, toks)
-	changed := false
-	for ti, t := range toks {
-		if t.IsLiteral() {
-			continue
-		}
-		if l, fixed := t.FixedLen(); !fixed || l > opts.MaxConstantLen {
-			continue
-		}
-		val := data[c.Rows[0]][spans[ti].Start:spans[ti].End]
-		constant := true
-		for _, ri := range c.Rows[1:] {
-			if data[ri][spans[ti].Start:spans[ti].End] != val {
-				constant = false
-				break
-			}
-		}
-		if constant && frequent(val) {
-			newToks[ti] = token.Lit(val)
-			changed = true
-		}
-	}
-	if changed {
-		c.Pattern = pattern.Of(coalesceConstants(newToks)...)
-	}
+	clusters, _, _ := initialCounted(data, opts, intern.NewTable(), nil)
+	return clusters
 }
 
 // coalesceConstants merges runs of adjacent fixed literal tokens with
@@ -313,35 +204,47 @@ func (h *Hierarchy) Roots() []*Node { return h.Levels[len(h.Levels)-1] }
 // initial clustering followed by three rounds of agglomerative refinement
 // with strategies 1–3.
 func Profile(data []string, opts Options) *Hierarchy {
-	clusters := Initial(data, opts)
+	h, _ := ProfileWithStats(data, opts)
+	return h
+}
+
+// ProfileWithStats is Profile with per-phase timing and size statistics,
+// for benchmarking and monitoring callers.
+func ProfileWithStats(data []string, opts Options) (*Hierarchy, *Stats) {
+	st := &Stats{}
+	tbl := intern.NewTable()
+	clusters, _, _ := initialCounted(data, opts, tbl, st)
 	leaves := make([]*Node, len(clusters))
 	for i, c := range clusters {
 		leaves[i] = &Node{Pattern: c.Pattern, Level: 0, Leaves: []*Cluster{c}}
 	}
 	h := &Hierarchy{Levels: [][]*Node{leaves}, Clusters: clusters, Data: data}
+	t0 := time.Now()
 	for level, g := range []Strategy{QuantToPlus, LettersToAlpha, AllToAlphaNum} {
-		h.Levels = append(h.Levels, refine(h.Levels[level], g, level+1))
+		h.Levels = append(h.Levels, refine(h.Levels[level], g, level+1, tbl))
 	}
-	return h
+	st.Refine = time.Since(t0)
+	return h, st
 }
 
 // refine is Algorithm 1: it clusters the patterns of one level into parent
 // patterns under strategy g, keeping parents in decreasing order of how many
-// children they cover.
-func refine(children []*Node, g Strategy, level int) []*Node {
-	parentOf := make([]pattern.Pattern, len(children))
-	count := make(map[string]int)
-	byKey := make(map[string]*Node)
-	var order []string
+// children they cover. Parent identity is an interned pattern id, so the
+// counted merge compares integers, never rendered pattern strings.
+func refine(children []*Node, g Strategy, level int, tbl *intern.Table) []*Node {
+	parentOf := make([]intern.PatternID, len(children))
+	count := make(map[intern.PatternID]int)
+	byID := make(map[intern.PatternID]*Node)
+	var order []intern.PatternID
 	for i, c := range children {
 		pp := Generalize(c.Pattern, g)
-		parentOf[i] = pp
-		k := pp.Key()
-		if count[k] == 0 {
-			order = append(order, k)
-			byKey[k] = &Node{Pattern: pp, Level: level}
+		id := tbl.Intern(pp.Tokens())
+		parentOf[i] = id
+		if count[id] == 0 {
+			order = append(order, id)
+			byID[id] = &Node{Pattern: pp, Level: level}
 		}
-		count[k] += len(c.Leaves) // weight by covered leaf patterns
+		count[id] += len(c.Leaves) // weight by covered leaf patterns
 	}
 	// Rank parent patterns by coverage, high to low (Alg 1 line 7); ties
 	// keep first-seen order for determinism.
@@ -349,13 +252,13 @@ func refine(children []*Node, g Strategy, level int) []*Node {
 		return count[order[a]] > count[order[b]]
 	})
 	for i, c := range children {
-		p := byKey[parentOf[i].Key()]
+		p := byID[parentOf[i]]
 		p.Children = append(p.Children, c)
 		p.Leaves = append(p.Leaves, c.Leaves...)
 	}
 	out := make([]*Node, len(order))
-	for i, k := range order {
-		out[i] = byKey[k]
+	for i, id := range order {
+		out[i] = byID[id]
 	}
 	return out
 }

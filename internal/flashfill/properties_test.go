@@ -13,14 +13,22 @@ func TestLearnedProgramReproducesExamples(t *testing.T) {
 	gen := func(v []reflect.Value, r *rand.Rand) {
 		n := 1 + r.Intn(4)
 		exs := make([]Example, n)
+		// A duplicate input must keep one output: two examples with the
+		// same In and different Outs are contradictory, and no
+		// deterministic program could reproduce both.
+		outOf := make(map[string]string)
 		for i := range exs {
 			in := randRow(r)
 			// Output built from input pieces plus constants, so it is
 			// always expressible.
-			parts := strings.FieldsFunc(in, func(c rune) bool { return c == ' ' || c == '-' })
-			out := "X:"
-			if len(parts) > 0 {
-				out += parts[r.Intn(len(parts))]
+			out, seen := outOf[in]
+			if !seen {
+				parts := strings.FieldsFunc(in, func(c rune) bool { return c == ' ' || c == '-' })
+				out = "X:"
+				if len(parts) > 0 {
+					out += parts[r.Intn(len(parts))]
+				}
+				outOf[in] = out
 			}
 			exs[i] = Example{In: in, Out: out}
 		}

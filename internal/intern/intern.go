@@ -1,0 +1,170 @@
+// Package intern hash-conses token sequences into dense PatternIDs so the
+// profiling hot path can treat pattern identity as an integer: map keys,
+// cluster membership, and equality checks all become O(1) id comparisons
+// instead of token-slice walks or rendered-string compares.
+//
+// A Table is scoped to one Profile call and shared across its workers.
+// Sixteen lock-sharded segments keep interning cheap under fan-out; ids are
+// racy in *numeric order* (whichever worker interns a new sequence first
+// assigns the next local index) but stable in *identity* — equal sequences
+// always receive the same id within a table — and nothing downstream depends
+// on id order, so profiling output stays byte-identical for any worker
+// count (see DESIGN.md §9).
+package intern
+
+import (
+	"math/bits"
+	"sync"
+
+	"clx/internal/token"
+)
+
+// PatternID identifies an interned token sequence within one Table. The
+// low shardBits select the shard; the remaining bits are the index within
+// it, so ids are dense enough to use as map keys or (per shard) slice
+// indices.
+type PatternID uint32
+
+const (
+	shardBits = 4
+	numShards = 1 << shardBits
+	shardMask = numShards - 1
+)
+
+// Table is a hash-consing table for token sequences. The zero value is not
+// usable; call NewTable. A Table is safe for concurrent use.
+type Table struct {
+	shards [numShards]shard
+}
+
+type shard struct {
+	mu sync.Mutex
+	// buckets maps a sequence hash to the ids carrying it (collisions are
+	// resolved by token-wise comparison).
+	buckets map[uint64][]PatternID
+	// toks holds the canonical (owned, immutable) token sequence of each
+	// local index.
+	toks [][]token.Token
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	t := &Table{}
+	for i := range t.shards {
+		t.shards[i].buckets = make(map[uint64][]PatternID)
+	}
+	return t
+}
+
+// Intern returns the id of the token sequence toks, assigning a fresh id on
+// first sight. The slice is only copied when the sequence is new, so
+// callers may (and should) pass a reused scratch buffer: the hot path of a
+// repeated pattern does one hash, one shard lock, and one bucket probe,
+// with zero allocations.
+func (t *Table) Intern(toks []token.Token) PatternID {
+	h := Hash(toks)
+	sh := &t.shards[h&shardMask]
+	sh.mu.Lock()
+	for _, id := range sh.buckets[h] {
+		if tokensEqual(sh.toks[id>>shardBits], toks) {
+			sh.mu.Unlock()
+			return id
+		}
+	}
+	own := make([]token.Token, len(toks))
+	copy(own, toks)
+	id := PatternID(len(sh.toks))<<shardBits | PatternID(h&shardMask)
+	sh.toks = append(sh.toks, own)
+	sh.buckets[h] = append(sh.buckets[h], id)
+	sh.mu.Unlock()
+	return id
+}
+
+// Tokens returns the canonical token sequence of id. The returned slice is
+// shared and must not be mutated. Passing an id not produced by this
+// table's Intern panics.
+func (t *Table) Tokens(id PatternID) []token.Token {
+	sh := &t.shards[id&shardMask]
+	sh.mu.Lock()
+	toks := sh.toks[id>>shardBits]
+	sh.mu.Unlock()
+	return toks
+}
+
+// Len returns the number of distinct sequences interned so far.
+func (t *Table) Len() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += len(sh.toks)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// xxhash-style 64-bit primes (xxh64's multipliers); the mixing below is a
+// compact rotate-multiply in the same family, not the full algorithm —
+// sequences are a handful of tokens, so per-call setup matters more than
+// bulk throughput.
+const (
+	prime1 uint64 = 0x9E3779B185EBCA87
+	prime2 uint64 = 0xC2B2AE3D27D4EB4F
+	prime3 uint64 = 0x165667B19E3779F9
+)
+
+// Hash returns a 64-bit key over the class, quantifier, and literal bytes
+// of toks. Equal sequences hash equal; the table resolves collisions by
+// comparison, so Hash only needs to be well-distributed, not injective.
+func Hash(toks []token.Token) uint64 {
+	h := prime3 + uint64(len(toks))
+	for _, t := range toks {
+		// Class and quantifier pack into one word: the quantifier is either
+		// Plus (-1) or a natural number far below 2^32 (pattern.maxQuant).
+		h = mix(h, uint64(t.Class)<<32|uint64(uint32(int32(t.Quant))))
+		if t.Class == token.Literal {
+			h = hashString(h, t.Lit)
+		}
+	}
+	// Final avalanche so low bits (the shard selector) depend on every
+	// input byte.
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+func mix(h, v uint64) uint64 {
+	h ^= v * prime2
+	return bits.RotateLeft64(h, 31) * prime1
+}
+
+func hashString(h uint64, s string) uint64 {
+	i := 0
+	for ; i+8 <= len(s); i += 8 {
+		var v uint64
+		for j := 0; j < 8; j++ {
+			v = v<<8 | uint64(s[i+j])
+		}
+		h = mix(h, v)
+	}
+	var v uint64
+	for ; i < len(s); i++ {
+		v = v<<8 | uint64(s[i])
+	}
+	return mix(h, v|uint64(len(s))<<56)
+}
+
+func tokensEqual(a, b []token.Token) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

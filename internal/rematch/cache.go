@@ -21,8 +21,33 @@ import (
 // cacheLimit bounds the number of cached matchers. Patterns arrive from
 // user data, so an unbounded memo would grow with every distinct column a
 // long-lived server sees; past the limit the whole cache is dropped and
-// rebuilt (correctness is unaffected — the cache is a pure memo).
-const cacheLimit = 8192
+// rebuilt (correctness is unaffected — the cache is a pure memo). A var so
+// tests can exercise eviction without compiling thousands of patterns.
+var cacheLimit int64 = 8192
+
+// CacheStats is a snapshot of the compiled-matcher cache counters: lookup
+// hits, misses (each miss compiles), and entries discarded by generation
+// swaps when the size cap is hit. Counters are process-lifetime monotonic;
+// ResetCache drops entries but leaves the counters (a reset is itself an
+// eviction event). A long-lived clxd exposes them at GET /v1/stats.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+var cacheStats struct {
+	hits, misses, evictions atomic.Int64
+}
+
+// Stats returns the current cache counters.
+func Stats() CacheStats {
+	return CacheStats{
+		Hits:      cacheStats.hits.Load(),
+		Misses:    cacheStats.misses.Load(),
+		Evictions: cacheStats.evictions.Load(),
+	}
+}
 
 // cacheMap is one generation of the memo; overflow swaps in a fresh
 // generation rather than deleting entries one by one.
@@ -48,15 +73,20 @@ func CompileCached(p []token.Token) *Compiled {
 	k := cacheKey(p)
 	cm := cache.Load()
 	if c, ok := cm.m.Load(k); ok {
+		cacheStats.hits.Add(1)
 		return c.(*Compiled)
 	}
+	cacheStats.misses.Add(1)
 	own := make([]token.Token, len(p))
 	copy(own, p)
 	c, loaded := cm.m.LoadOrStore(k, Compile(own))
 	if !loaded && cm.n.Add(1) > cacheLimit {
 		// Retire this generation; concurrent readers of cm finish
-		// harmlessly against the old map.
-		cache.CompareAndSwap(cm, new(cacheMap))
+		// harmlessly against the old map. Only the winning swap books the
+		// retired entries as evictions.
+		if cache.CompareAndSwap(cm, new(cacheMap)) {
+			cacheStats.evictions.Add(cm.n.Load())
+		}
 	}
 	return c.(*Compiled)
 }
@@ -66,7 +96,12 @@ func CompileCached(p []token.Token) *Compiled {
 // contents; the only callers are benchmarks measuring cold-start cost
 // (e.g. the first apply after a daemon restart) against the warm steady
 // state.
-func ResetCache() { cache.Store(new(cacheMap)) }
+func ResetCache() {
+	cm := cache.Load()
+	if cache.CompareAndSwap(cm, new(cacheMap)) {
+		cacheStats.evictions.Add(cm.n.Load())
+	}
+}
 
 func cacheKey(p []token.Token) string {
 	var b strings.Builder

@@ -77,7 +77,7 @@ func TestCompileCachedConcurrent(t *testing.T) {
 func TestCompileCachedLimitReset(t *testing.T) {
 	// Overflow the cache with distinct patterns; matching must keep working
 	// through the reset and the shared entry must be recoverable after.
-	for i := 0; i < cacheLimit+64; i++ {
+	for i := 0; i < int(cacheLimit)+64; i++ {
 		p := []token.Token{token.Lit(fmt.Sprintf("k%d", i))}
 		if !CompileCached(p).Matches(fmt.Sprintf("k%d", i)) {
 			t.Fatalf("entry %d mismatched", i)
@@ -85,6 +85,43 @@ func TestCompileCachedLimitReset(t *testing.T) {
 	}
 	if !CompileCached(phonePattern()).Matches("734-645-8397") {
 		t.Error("cache unusable after limit reset")
+	}
+}
+
+// TestCacheStatsCounters pins the observable cache accounting: a first
+// compile is a miss, a repeat is a hit, and overflowing the (lowered) size
+// cap books the retired generation's entries as evictions.
+func TestCacheStatsCounters(t *testing.T) {
+	old := cacheLimit
+	cacheLimit = 8
+	defer func() { cacheLimit = old; ResetCache() }()
+	ResetCache()
+
+	s0 := Stats()
+	p := phonePattern()
+	CompileCached(p)
+	CompileCached(p)
+	s1 := Stats()
+	if got := s1.Misses - s0.Misses; got < 1 {
+		t.Errorf("misses grew by %d, want >= 1", got)
+	}
+	if got := s1.Hits - s0.Hits; got < 1 {
+		t.Errorf("hits grew by %d, want >= 1", got)
+	}
+
+	for i := 0; i < 4*int(cacheLimit); i++ {
+		v := fmt.Sprintf("e%d", i)
+		if !CompileCached([]token.Token{token.Lit(v)}).Matches(v) {
+			t.Fatalf("entry %d mismatched", i)
+		}
+	}
+	s2 := Stats()
+	if s2.Evictions <= s1.Evictions {
+		t.Errorf("evictions did not grow past the size cap: %d -> %d",
+			s1.Evictions, s2.Evictions)
+	}
+	if got := s2.Misses - s1.Misses; got < 4*cacheLimit {
+		t.Errorf("distinct patterns produced %d misses, want >= %d", got, 4*cacheLimit)
 	}
 }
 

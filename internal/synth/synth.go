@@ -106,15 +106,13 @@ func Synthesize(h *cluster.Hierarchy, target pattern.Pattern, opts Options) *Res
 	// rows, share one cached compiled target across shards (and with the
 	// later Transform).
 	tgt := rematch.CompileCached(target.Tokens())
-	isClean := make([]bool, len(h.Data))
+	clean := make([]bool, len(h.Data))
 	parallel.For(opts.Workers, len(h.Data), func(i int) {
-		isClean[i] = tgt.Matches(h.Data[i])
+		clean[i] = tgt.Matches(h.Data[i])
 	})
-	clean := make(map[int]bool)
-	for i, c := range isClean {
+	for i, c := range clean {
 		if c {
 			res.CleanRows = append(res.CleanRows, i)
-			clean[i] = true
 		}
 	}
 
@@ -168,9 +166,10 @@ type synthOutcome struct {
 }
 
 // solveNode classifies one hierarchy node; it only reads the node, the
-// target and the frozen clean set, so frontier batches may run it
-// concurrently.
-func solveNode(node *cluster.Node, target pattern.Pattern, clean map[int]bool, opts Options) synthOutcome {
+// target and the frozen clean set (a dense per-row bitmap — the row scans
+// here are hot, and slice indexing beats map lookups), so frontier batches
+// may run it concurrently.
+func solveNode(node *cluster.Node, target pattern.Pattern, clean []bool, opts Options) synthOutcome {
 	if nodeAllClean(node, clean) {
 		return synthOutcome{skip: true}
 	}
@@ -183,7 +182,7 @@ func solveNode(node *cluster.Node, target pattern.Pattern, clean map[int]bool, o
 	return synthOutcome{}
 }
 
-func nodeAllClean(n *cluster.Node, clean map[int]bool) bool {
+func nodeAllClean(n *cluster.Node, clean []bool) bool {
 	for _, c := range n.Leaves {
 		for _, ri := range c.Rows {
 			if !clean[ri] {

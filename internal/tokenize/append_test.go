@@ -1,0 +1,131 @@
+package tokenize
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"clx/internal/token"
+)
+
+// TestAppendTokenizeMatchesTokenize pins the hot-path contract: for every
+// input, AppendTokenize(nil, s) and Tokenize(s) yield identical tokens —
+// including the empty string, multi-byte runes inside literal runs, invalid
+// UTF-8 bytes, and very long single-class runs.
+func TestAppendTokenizeMatchesTokenize(t *testing.T) {
+	cases := []string{
+		"",
+		"Bob123@gmail.com",
+		"(734) 645-8397",
+		"N/A",
+		"   ",
+		"aé9",
+		"é",
+		"日本語123",
+		"naïve-Café_№42",
+		"\xffé\xfe",
+		"a\x80b",
+		strings.Repeat("a", 100000),
+		strings.Repeat("7", 100000),
+		strings.Repeat("Z", 65536),
+		strings.Repeat("-", 4096),
+		strings.Repeat("aB3.", 25000),
+	}
+	for _, s := range cases {
+		got := AppendTokenize(nil, s)
+		want := Tokenize(s)
+		if !reflect.DeepEqual(got, want) {
+			name := s
+			if len(name) > 40 {
+				name = name[:37] + "..."
+			}
+			t.Errorf("AppendTokenize(nil, %q) diverges from Tokenize (%d vs %d tokens)",
+				name, len(got), len(want))
+		}
+	}
+}
+
+// TestAppendTokenizeReuse checks the buffer-reuse semantics: truncating and
+// refilling one scratch buffer across many inputs produces the same tokens
+// as fresh calls, and never grows the buffer when capacity suffices.
+func TestAppendTokenizeReuse(t *testing.T) {
+	inputs := []string{
+		"(734) 645-8397", "", "CPT-00350", "aé9", strings.Repeat("x1", 200),
+	}
+	buf := make([]token.Token, 0, 8)
+	for _, s := range inputs {
+		buf = AppendTokenize(buf[:0], s)
+		want := Tokenize(s)
+		// want is nil for "", buf[:0] is an empty non-nil slice; compare
+		// contents, not nil-ness.
+		if len(buf) != len(want) {
+			t.Fatalf("reuse: %q gave %d tokens, want %d", s, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Errorf("reuse: %q token %d = %v, want %v", s, i, buf[i], want[i])
+			}
+		}
+	}
+	// Appending after existing elements preserves the prefix.
+	prefix := []token.Token{token.Lit("!")}
+	out := AppendTokenize(prefix, "ab12")
+	if out[0] != token.Lit("!") {
+		t.Error("AppendTokenize clobbered existing elements before len(dst)")
+	}
+	if len(out) != 1+len(Tokenize("ab12")) {
+		t.Errorf("appended %d tokens after prefix, want %d", len(out)-1, len(Tokenize("ab12")))
+	}
+}
+
+// TestAppendTokenizeZeroAlloc verifies the whole point of the API: with a
+// warm buffer of sufficient capacity, tokenizing allocates nothing.
+func TestAppendTokenizeZeroAlloc(t *testing.T) {
+	buf := make([]token.Token, 0, 32)
+	s := "(734) 645-8397"
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendTokenize(buf[:0], s)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendTokenize with warm buffer allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// Property: AppendTokenize ≡ Tokenize over random byte strings, including
+// bytes that are not valid UTF-8.
+func TestAppendTokenizeQuick(t *testing.T) {
+	f := func(s string) bool {
+		return reflect.DeepEqual(AppendTokenize(nil, s), Tokenize(s))
+	}
+	cfg := &quick.Config{MaxCount: 500, Values: func(v []reflect.Value, r *rand.Rand) {
+		n := r.Intn(200)
+		b := make([]byte, n)
+		r.Read(b)
+		v[0] = reflect.ValueOf(string(b))
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// BenchmarkTokenize measures the allocating entry point against the
+// buffer-reusing one over a representative phone value; the allocs/op
+// columns are the contract the profile hot path depends on.
+func BenchmarkTokenize(b *testing.B) {
+	const s = "(734) 645-8397"
+	b.Run("Tokenize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Tokenize(s)
+		}
+	})
+	b.Run("AppendTokenizeReuse", func(b *testing.B) {
+		buf := make([]token.Token, 0, 32)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = AppendTokenize(buf[:0], s)
+		}
+	})
+}

@@ -25,31 +25,40 @@ import (
 // exact bytes; an invalid UTF-8 byte becomes a one-byte literal, so the
 // derived pattern always matches the source string byte for byte.
 func Tokenize(s string) []token.Token {
-	var out []token.Token
+	return AppendTokenize(nil, s)
+}
+
+// AppendTokenize appends the token sequence of s to dst and returns the
+// extended slice, exactly as Tokenize but without allocating a fresh slice
+// per call: when dst has sufficient capacity nothing is allocated, which is
+// the profiling hot path's contract — one pooled buffer per worker,
+// truncated (dst[:0]) and refilled per row. Tokens hold sub-strings of s,
+// never copies, so appending allocates no byte data either.
+func AppendTokenize(dst []token.Token, s string) []token.Token {
 	for i := 0; i < len(s); {
 		b := s[i]
 		if b < 0x80 {
-			c := classify(rune(b))
+			c := asciiClass[b]
 			if c == token.Literal {
-				out = append(out, token.Lit(s[i:i+1]))
+				dst = append(dst, token.Lit(s[i:i+1]))
 				i++
 				continue
 			}
 			j := i + 1
-			for j < len(s) && s[j] < 0x80 && classify(rune(s[j])) == c {
+			for j < len(s) && s[j] < 0x80 && asciiClass[s[j]] == c {
 				j++
 			}
-			out = append(out, token.Base(c, j-i))
+			dst = append(dst, token.Base(c, j-i))
 			i = j
 			continue
 		}
 		_, size := utf8.DecodeRuneInString(s[i:])
 		// A valid multi-byte rune keeps its bytes together; an invalid
 		// byte (size 1) is kept verbatim.
-		out = append(out, token.Lit(s[i:i+size]))
+		dst = append(dst, token.Lit(s[i:i+size]))
 		i += size
 	}
-	return out
+	return dst
 }
 
 // asciiClass maps every ASCII code point to its most precise base class

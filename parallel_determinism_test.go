@@ -77,6 +77,34 @@ func TestParallelPipelineDeterminism(t *testing.T) {
 	}
 }
 
+// TestCountedPathDeterminism stresses the counted-cluster profile path
+// specifically: a dup-heavy column (every distinct value repeated many
+// times) mixed with empties and multi-byte unicode rows, the shapes where
+// value deduplication, count weighting, and literal-run tokenization all
+// carry weight. The fingerprint must be byte-identical across worker
+// counts, with per-row indices intact.
+func TestCountedPathDeterminism(t *testing.T) {
+	base := []string{
+		"(734) 645-8397", "734-645-8397", "CPT-00350", "N/A", "",
+		"café 12", "Dr. Eran Yahav", "日本語123", "\xff\xfe", "   ",
+	}
+	var inputs []string
+	for i := 0; i < 40; i++ { // 400 rows, 10 distinct values
+		inputs = append(inputs, base...)
+	}
+	targets := []clx.Pattern{clx.MustParsePattern("<D>3'-'<D>3'-'<D>4")}
+	serial := pipelineFingerprint(inputs, targets, 1)
+	if !strings.Contains(serial, "rows=[0 10 20") {
+		t.Fatalf("fingerprint lost per-row indices:\n%s", serial)
+	}
+	for _, w := range []int{2, 4, 8} {
+		got := pipelineFingerprint(inputs, targets, w)
+		if got != serial {
+			t.Fatalf("workers=%d diverges from serial:\n%s", w, firstDiff(serial, got))
+		}
+	}
+}
+
 // firstDiff locates the first differing line of two multi-line dumps.
 func firstDiff(a, b string) string {
 	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
