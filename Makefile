@@ -1,12 +1,13 @@
 # Test tiers. Tier-1 is the gate every change must keep green; the race
 # tier additionally runs the full suite under the race detector, which
 # exercises the parallel pipeline (internal/parallel, the rematch compile
-# cache, the intern table, and the sharded cluster/synth/transform paths)
-# with worker counts > 1.
+# cache, the intern table, the sharded cluster/synth/transform paths, and
+# the bounded streaming engine) with worker counts > 1. `gate` is the full
+# pre-merge gate: tier-1 + race + coverage floors + a fuzz smoke pass.
 
 GO ?= go
 
-.PHONY: test race bench bench-profile pipeline profile bench-store
+.PHONY: test race gate cover fuzz-smoke bench bench-profile pipeline profile bench-store bench-stream
 
 # Tier-1: vet + build + unit tests (ROADMAP.md contract).
 test:
@@ -16,6 +17,20 @@ test:
 # worker-count determinism suite.
 race:
 	$(GO) vet ./... && $(GO) test -race ./...
+
+# Full gate: tier-1, race tier, per-package coverage floors, and a
+# 10s-per-target fuzz smoke over the seed corpora.
+gate: test race cover fuzz-smoke
+
+# Coverage floors: every package listed in scripts/cover_floors.txt must
+# stay at or above its floor.
+cover:
+	sh scripts/check_cover.sh
+
+# Fuzz smoke: every fuzz target gets FUZZTIME (default 10s) of
+# coverage-guided fuzzing on top of its seed corpus.
+fuzz-smoke:
+	sh scripts/fuzz_smoke.sh
 
 # Parallel-pipeline micro-benchmarks (worker-count sweep).
 bench:
@@ -41,3 +56,8 @@ profile:
 # vs apply-by-id, cold vs warm matcher cache).
 bench-store:
 	$(GO) run ./cmd/clxbench -exp store
+
+# Regenerate BENCH_stream.json (streaming bulk apply vs in-memory
+# Transform: rows/sec and allocs/row at 10k/100k/1M rows, workers 1/2/4/8).
+bench-stream:
+	$(GO) run ./cmd/clxbench -exp stream

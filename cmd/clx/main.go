@@ -20,6 +20,11 @@
 //	    additionally save the verified program for later use
 //	clx apply -program prog.json [-file data.txt]
 //	    apply a previously saved program without re-synthesis
+//	clx apply -stream -program prog.json [-chunk n] [-workers n]
+//	    same, but streaming: the column is never materialized — rows flow
+//	    from the file or stdin through a bounded chunk pipeline to stdout,
+//	    so memory stays fixed no matter the column size (works with
+//	    -store/-id too)
 //	clx check -program prog.json -expect want.txt [-file data.txt]
 //	    regression-test a saved program: apply it and diff against the
 //	    expected column, exiting non-zero on any mismatch
@@ -81,6 +86,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	store := fs.String("store", "", "program registry directory shared with clxd (transform, apply, programs)")
 	id := fs.String("id", "", "registry program id (apply), or id to re-register under (transform)")
 	name := fs.String("name", "", "human label for the registered program (transform)")
+	streamFlag := fs.Bool("stream", false,
+		"apply in streaming mode: bounded memory, input is never materialized (apply -store/-id or -program)")
+	chunk := fs.Int("chunk", 0, "rows per chunk in streaming mode (0 = default)")
+	workers := fs.Int("workers", 0, "chunk fan-out in streaming mode (0 = one per CPU, 1 = serial)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -101,6 +110,34 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			r = f
 		}
 		return transformCSV(r, stdout, stderr, *spec, *header)
+	}
+	if cmd == "apply" && *streamFlag {
+		// Streaming apply never materializes the column: rows flow from the
+		// file or stdin through the bounded chunk pipeline to stdout.
+		in, closeIn, err := openInput(*file, stdin)
+		if err != nil {
+			return err
+		}
+		defer closeIn()
+		opts := streamOpts{csv: *csvMode, col: *col, header: *header, chunk: *chunk, workers: *workers}
+		if *store != "" {
+			if *id == "" {
+				return fmt.Errorf("apply -store requires -id <program id>")
+			}
+			return applyStreamFromStore(stdout, stderr, *store, *id, in, opts)
+		}
+		if *program == "" {
+			return fmt.Errorf("apply requires -program <saved program file> or -store/-id")
+		}
+		raw, err := os.ReadFile(*program)
+		if err != nil {
+			return err
+		}
+		sp, err := clx.LoadProgram(raw)
+		if err != nil {
+			return err
+		}
+		return applyStream(stdout, stderr, sp, in, opts)
 	}
 	data, err := readColumn(*file, stdin, *csvMode, *col, *header)
 	if err != nil {
@@ -239,6 +276,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// openInput resolves the -file flag to a reader without consuming it; the
+// returned closer is a no-op for stdin.
+func openInput(file string, stdin io.Reader) (io.Reader, func(), error) {
+	if file == "" {
+		return stdin, func() {}, nil
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
 }
 
 func readColumn(file string, stdin io.Reader, csvMode bool, col int, header bool) ([]string, error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -58,5 +59,48 @@ func TestStoreBridgeRoundTrip(t *testing.T) {
 	}
 	if _, _, err := runCLI(t, "x\n", "apply", "-store", dir); err == nil {
 		t.Error("apply -store without -id should fail")
+	}
+}
+
+// apply -stream over the registry: byte-identical stdout to the buffered
+// apply, summary on stderr, and the saved-file path works too.
+func TestApplyStreamMatchesBuffered(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := runCLI(t, phoneInput, "transform",
+		"-target", "<D>3'-'<D>3'-'<D>4", "-store", dir); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := runCLI(t, phoneInput, "apply", "-store", dir, "-id", "p000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, errw, err := runCLI(t, phoneInput, "apply", "-stream",
+		"-store", dir, "-id", "p000001", "-chunk", "2", "-workers", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("stream output %q differs from buffered %q", got, want)
+	}
+	if !strings.Contains(errw, "streaming through p000001 v1") ||
+		!strings.Contains(errw, "streamed 5 rows") ||
+		!strings.Contains(errw, "1 rows matched no pattern") {
+		t.Errorf("stream stderr = %q", errw)
+	}
+
+	// Saved-program file path, CSV input.
+	prog := filepath.Join(dir, "prog.json")
+	if _, _, err := runCLI(t, phoneInput, "transform",
+		"-target", "<D>3'-'<D>3'-'<D>4", "-save", prog); err != nil {
+		t.Fatal(err)
+	}
+	csvIn := "who,phone\nkate,(734) 645-8397\nbob,734.236.3466\n"
+	got, _, err = runCLI(t, csvIn, "apply", "-stream", "-program", prog,
+		"-csv", "-col", "1", "-header")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "734-645-8397\n734-236-3466\n" {
+		t.Errorf("csv stream output = %q", got)
 	}
 }

@@ -1,0 +1,72 @@
+// Streaming apply for the CLI: clx apply -stream runs a saved or
+// registered program over stdin or a file through the bounded chunk
+// pipeline, so a column of any size transforms in fixed memory — the
+// command-line twin of the daemon's /apply/stream endpoint.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	clx "clx"
+	"clx/internal/progstore"
+	"clx/internal/stream"
+)
+
+// streamOpts carries the flag subset the streaming path honors.
+type streamOpts struct {
+	csv     bool
+	col     int
+	header  bool
+	chunk   int
+	workers int
+}
+
+// applyStream drives one program over in, writing transformed rows to
+// stdout line by line and a stream summary to stderr.
+func applyStream(stdout, stderr io.Writer, sp *clx.SavedProgram, in io.Reader, opts streamOpts) error {
+	var rd stream.Reader
+	if opts.csv {
+		rd = stream.NewCSVReader(in, opts.col, opts.header)
+	} else {
+		rd = stream.NewLineReader(in)
+	}
+	out := bufio.NewWriter(stdout)
+	var flagged int64
+	st, err := stream.Run(sp, rd, stream.LineEncoder{}, out, stream.Options{
+		ChunkSize: opts.chunk,
+		Workers:   opts.workers,
+		OnFlagged: func(int) { flagged++ },
+	})
+	if ferr := out.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return fmt.Errorf("stream apply: %w (after %d rows)", err, st.Rows)
+	}
+	if flagged > 0 {
+		fmt.Fprintf(stderr, "%d rows matched no pattern and were left unchanged\n", flagged)
+	}
+	fmt.Fprintf(stderr, "streamed %d rows in %d chunks (%.0f rows/sec, peak %d chunks in flight)\n",
+		st.Rows, st.Chunks, st.RowsPerSec, st.PeakInFlight)
+	return nil
+}
+
+// applyStreamFromStore resolves id in the registry at dir and streams in
+// through it. Unlike the buffered apply there is no drift report — drift
+// clustering needs the flagged rows in memory, which streaming refuses to
+// hold.
+func applyStreamFromStore(stdout, stderr io.Writer, dir, id string, in io.Reader, opts streamOpts) error {
+	st, err := progstore.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	sp, version, err := st.Load(id)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "streaming through %s v%d\n", id, version)
+	return applyStream(stdout, stderr, sp, in, opts)
+}

@@ -15,6 +15,7 @@
 //	clxbench -exp fig16         CLX Step breakdown and CDF
 //	clxbench -exp expressivity  perfect-transformation counts
 //	clxbench -exp appendixE     user-effort summary fractions
+//	clxbench -exp stream        streaming vs in-memory bulk apply (BENCH_stream.json)
 package main
 
 import (
@@ -67,6 +68,7 @@ func experimentsMap() map[string]func() {
 		"pipeline":     pipeline,
 		"profile":      profileExperiment,
 		"store":        storeExperiment,
+		"stream":       streamExperiment,
 		"panel":        panel,
 		"markdown":     markdown,
 		"quiz":         quiz,

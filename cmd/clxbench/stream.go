@@ -1,0 +1,174 @@
+// The stream experiment: the bounded-memory bulk-apply engine measured
+// against the in-memory Transform path — rows/sec and allocations per row
+// at 10k/100k/1M rows for 1/2/4/8 chunk workers, persisted as
+// BENCH_stream.json. The interesting numbers are the stream/in-memory
+// throughput ratio and the allocs/row gap (the append-style apply path
+// allocates far less than materializing both columns).
+//
+//	clxbench -exp stream [-reps n] [-stream-out f] [-stream-max-rows n]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	clx "clx"
+	"clx/internal/dataset"
+	"clx/internal/pattern"
+	"clx/internal/stream"
+)
+
+var (
+	streamOutFlag = flag.String("stream-out", "BENCH_stream.json",
+		"stream experiment: output JSON path ('' disables the file)")
+	streamMaxRows = flag.Int("stream-max-rows", 1_000_000,
+		"stream experiment: skip size points above this row count")
+)
+
+// streamReport is the persisted BENCH_stream.json document.
+type streamReport struct {
+	GeneratedUnix int64             `json:"generated_unix"`
+	GOMAXPROCS    int               `json:"gomaxprocs"`
+	ChunkSize     int               `json:"chunk_size"`
+	Target        string            `json:"target"`
+	Sizes         []streamSizePoint `json:"sizes"`
+}
+
+// streamSizePoint holds one column size: the streaming engine and the
+// in-memory Transform, per worker count.
+type streamSizePoint struct {
+	Rows     int                 `json:"rows"`
+	Stream   []streamMeasurement `json:"stream"`
+	InMemory []streamMeasurement `json:"in_memory"`
+}
+
+type streamMeasurement struct {
+	Workers      int     `json:"workers"`
+	MS           float64 `json:"ms"`
+	RowsPerSec   float64 `json:"rows_per_sec"`
+	AllocsPerRow float64 `json:"allocs_per_row"`
+	PeakInFlight int     `json:"peak_in_flight,omitempty"`
+}
+
+// measure times fn over reps runs, keeping the best time and the lowest
+// allocation count (warm-up noise only ever adds allocations).
+func measure(reps int, fn func()) (best time.Duration, allocs uint64) {
+	var m0, m1 runtime.MemStats
+	for r := 0; r < reps; r++ {
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		fn()
+		d := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		if best == 0 || d < best {
+			best = d
+		}
+		if a := m1.Mallocs - m0.Mallocs; r == 0 || a < allocs {
+			allocs = a
+		}
+	}
+	return best, allocs
+}
+
+func streamExperiment() {
+	target := pattern.MustParse("<D>3'-'<D>3'-'<D>4")
+	seedRows, _ := dataset.Phones(2000, 6, 77)
+	sess := clx.NewSession(seedRows)
+	tr, err := sess.Label(target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench:", err)
+		return
+	}
+	raw, err := tr.Export()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench:", err)
+		return
+	}
+	sp, err := clx.LoadProgram(raw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench:", err)
+		return
+	}
+
+	report := streamReport{
+		GeneratedUnix: time.Now().Unix(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		ChunkSize:     stream.DefaultChunkSize,
+		Target:        target.String(),
+	}
+	workerCounts := []int{1, 2, 4, 8}
+	fmt.Printf("== Streaming bulk apply vs in-memory Transform (chunk=%d, best of %d) ==\n",
+		stream.DefaultChunkSize, *pipelineReps)
+	fmt.Printf("%9s %8s %12s %12s %10s %14s %14s\n",
+		"rows", "workers", "stream", "in-memory", "speedup", "stream alloc/r", "in-mem alloc/r")
+
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		if n > *streamMaxRows {
+			continue
+		}
+		reps := *pipelineReps
+		if n >= 1_000_000 && reps > 3 {
+			reps = 3
+		}
+		rows, _ := dataset.Phones(n, 6, 77)
+		point := streamSizePoint{Rows: n}
+		for _, w := range workerCounts {
+			var st stream.Stats
+			d, allocs := measure(reps, func() {
+				var err error
+				st, err = stream.Run(sp, stream.NewSliceReader(rows), stream.LineEncoder{},
+					io.Discard, stream.Options{Workers: w})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "clxbench:", err)
+				}
+			})
+			sm := streamMeasurement{
+				Workers:      w,
+				MS:           ms(d),
+				RowsPerSec:   float64(n) / d.Seconds(),
+				AllocsPerRow: float64(allocs) / float64(n),
+				PeakInFlight: st.PeakInFlight,
+			}
+			point.Stream = append(point.Stream, sm)
+
+			spw := *sp
+			spw.Workers = w
+			dm, allocsM := measure(reps, func() { spw.Transform(rows) })
+			im := streamMeasurement{
+				Workers:      w,
+				MS:           ms(dm),
+				RowsPerSec:   float64(n) / dm.Seconds(),
+				AllocsPerRow: float64(allocsM) / float64(n),
+			}
+			point.InMemory = append(point.InMemory, im)
+
+			fmt.Printf("%9d %8d %9.0f/s %9.0f/s %9.2fx %14.2f %14.2f\n",
+				n, w, sm.RowsPerSec, im.RowsPerSec, dm.Seconds()/d.Seconds(),
+				sm.AllocsPerRow, im.AllocsPerRow)
+		}
+		report.Sizes = append(report.Sizes, point)
+	}
+
+	if *streamOutFlag == "" {
+		return
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false) // keep "<D>3" readable
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench: encode stream report:", err)
+		return
+	}
+	if err := os.WriteFile(*streamOutFlag, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench: write stream report:", err)
+		return
+	}
+	fmt.Printf("wrote %s\n", *streamOutFlag)
+}

@@ -26,6 +26,13 @@
 //	GET    /v1/programs/{id}        full entry incl. the auditable program
 //	DELETE /v1/programs/{id}
 //	POST   /v1/programs/{id}/apply  {"rows": [...]} -> output + drift report
+//	POST   /v1/programs/{id}/apply/stream
+//	    chunked bulk apply with bounded memory: the body is the raw column
+//	    (?input=lines|ndjson|csv, ?col=, ?header=1 for csv; ?chunk= and
+//	    ?workers= tune the pipeline), the response is NDJSON — one JSON
+//	    string per transformed row in input order, flushed per chunk, then
+//	    a trailer object with stream stats ({"done":true,...}) or an error
+//	    frame if the source failed mid-stream
 //
 // Target patterns accept both notations ("<D>3'-'<D>4" or
 // "{digit}{3}-{digit}{4}"). The transform response carries, per source
@@ -57,6 +64,7 @@ import (
 	clx "clx"
 	"clx/internal/progstore"
 	"clx/internal/rematch"
+	"clx/internal/stream"
 )
 
 func main() {
@@ -149,19 +157,25 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/programs/{id}", s.handleProgramGet)
 	mux.HandleFunc("DELETE /v1/programs/{id}", s.handleProgramDelete)
 	mux.HandleFunc("POST /v1/programs/{id}/apply", s.handleProgramApply)
+	mux.HandleFunc("POST /v1/programs/{id}/apply/stream", s.handleProgramApplyStream)
 	return mux
 }
 
 // statsResponse is the GET /v1/stats document: process-level counters a
-// deployment scrapes to watch the daemon — currently the compiled-matcher
-// cache (hit/miss/evict), the knob bounding memory growth on servers that
-// see many distinct programs.
+// deployment scrapes to watch the daemon — the compiled-matcher cache
+// (hit/miss/evict), the knob bounding memory growth on servers that see
+// many distinct programs, and the streaming bulk-apply totals (streams,
+// rows, chunks, flagged, errors, peak in-flight window).
 type statsResponse struct {
 	MatcherCache rematch.CacheStats `json:"matcher_cache"`
+	Streaming    stream.Counters    `json:"streaming"`
 }
 
 func handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{MatcherCache: rematch.Stats()})
+	writeJSON(w, http.StatusOK, statsResponse{
+		MatcherCache: rematch.Stats(),
+		Streaming:    stream.GlobalStats(),
+	})
 }
 
 // maxBody caps every request body; oversized bodies get the 413 envelope.

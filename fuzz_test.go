@@ -5,10 +5,13 @@
 package clx_test
 
 import (
+	"io"
+	"strings"
 	"testing"
 
 	"clx/internal/cluster"
 	"clx/internal/pattern"
+	"clx/internal/stream"
 	"clx/internal/synth"
 )
 
@@ -208,4 +211,123 @@ func FuzzCompactParse(f *testing.F) {
 			t.Fatalf("compact round trip changed pattern: %s vs %s", q, p)
 		}
 	})
+}
+
+// chunkedReader returns at most k bytes per Read, forcing records — and
+// multi-byte UTF-8 sequences — to split across arbitrary read boundaries.
+type chunkedReader struct {
+	s string
+	i int
+	k int
+}
+
+func (r *chunkedReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.s) {
+		return 0, io.EOF
+	}
+	n := r.k
+	if n > len(p) {
+		n = len(p)
+	}
+	if r.i+n > len(r.s) {
+		n = len(r.s) - r.i
+	}
+	copy(p, r.s[r.i:r.i+n])
+	r.i += n
+	return n, nil
+}
+
+// FuzzStreamReader throws arbitrary bytes at the three streaming input
+// readers under adversarial read boundaries: no panic ever; the line
+// reader agrees with a reference in-memory split (so CRLF/LF mixes, empty
+// records and UTF-8 cut mid-rune reassemble identically); NDJSON input the
+// reader accepts survives a write∘read round trip.
+func FuzzStreamReader(f *testing.F) {
+	for _, seed := range []string{
+		"", "\n", "\r\n", "a\nb\nc", "a\r\nb\r\n", "last without newline",
+		"café 12\n日本語123\n", "mixed\r\nendings\nhere\r\n", "\n\n\n",
+		"\"json string\"\n\"with\\nescape\"\n", "not json\n",
+		"a,b,c\n\"quoted,comma\",x,y\n", "\"unterminated\nquote", "\xff\xfe\n\x80",
+	} {
+		f.Add(seed, uint8(1), uint8(1))
+		f.Add(seed, uint8(3), uint8(4))
+	}
+	f.Fuzz(func(t *testing.T, blob string, k, max uint8) {
+		readSize := int(k)%16 + 1
+		batch := int(max)%8 + 1
+		drain := func(r stream.Reader) ([]string, error) {
+			var out []string
+			for {
+				vals, err := r.Next(batch)
+				out = append(out, vals...)
+				if err != nil {
+					return out, err
+				}
+				if len(out) > len(blob)+8 {
+					t.Fatalf("reader emits more values than the input could hold")
+				}
+			}
+		}
+
+		// Line reader: differential against a reference split, for every
+		// read-boundary placement.
+		wantLines := refLines(blob)
+		gotLines, err := drain(stream.NewLineReader(&chunkedReader{s: blob, k: readSize}))
+		if err != io.EOF {
+			t.Fatalf("line reader error on arbitrary input: %v", err)
+		}
+		if len(gotLines) != len(wantLines) {
+			t.Fatalf("readSize=%d: %d lines, want %d (%q)", readSize, len(gotLines), len(wantLines), blob)
+		}
+		for i := range wantLines {
+			if gotLines[i] != wantLines[i] {
+				t.Fatalf("readSize=%d line %d: %q, want %q", readSize, i, gotLines[i], wantLines[i])
+			}
+		}
+
+		// NDJSON reader: never panics; accepted input round-trips through
+		// the encoder byte-compatibly.
+		vals, err := drain(stream.NewNDJSONReader(&chunkedReader{s: blob, k: readSize}))
+		if err == io.EOF {
+			var buf []byte
+			for _, v := range vals {
+				buf = stream.NDJSONEncoder{}.AppendValue(buf, []byte(v))
+			}
+			again, err := drain(stream.NewNDJSONReader(&chunkedReader{s: string(buf), k: readSize}))
+			if err != io.EOF {
+				t.Fatalf("re-read of encoded values failed: %v", err)
+			}
+			if len(again) != len(vals) {
+				t.Fatalf("round trip: %d values, want %d", len(again), len(vals))
+			}
+			for i := range vals {
+				if again[i] != vals[i] {
+					t.Fatalf("round trip value %d: %q, want %q", i, again[i], vals[i])
+				}
+			}
+		}
+
+		// CSV reader: malformed quoting and ragged rows must error, never
+		// panic, for any column index.
+		for _, col := range []int{0, 1} {
+			_, _ = drain(stream.NewCSVReader(&chunkedReader{s: blob, k: readSize}, col, col == 1))
+		}
+	})
+}
+
+// refLines is the in-memory reference the streaming line reader must
+// reproduce: values separated by '\n', each stripped of one trailing
+// '\r', the final value kept when the input does not end in a newline.
+func refLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, "\n")
+	if parts[len(parts)-1] == "" {
+		parts = parts[:len(parts)-1]
+	}
+	for i := range parts {
+		parts[i] = strings.TrimSuffix(parts[i], "\r")
+	}
+	return parts
 }

@@ -100,6 +100,122 @@ func Map[T, R any](workers int, in []T, fn func(T) R) []R {
 	return out
 }
 
+// Stream pulls jobs from a sequential source, fans them across workers,
+// and hands results to a sequential sink in source order — the bounded
+// pipeline shape behind chunked bulk-apply, where the column does not fit
+// in memory and only a window of chunks may be in flight at once.
+//
+// next is called from a single goroutine until it reports done or an
+// error; fn runs concurrently over admitted jobs; emit is called on the
+// caller's goroutine, once per admitted job, in admission order. At most
+// inFlight jobs are admitted and not yet emitted (inFlight <= 0 selects
+// 2× the resolved worker count; a positive bound below the worker count
+// is honored — it just leaves workers idle), which is the memory bound:
+// source and sink never drift further apart than inFlight jobs no matter
+// how uneven the per-job work is.
+//
+// A next error stops admission; results of previously admitted jobs are
+// still emitted, then the error is returned. An emit error cancels the
+// stream: admission stops, in-flight work is drained without further
+// emits, and the emit error is returned. With a resolved worker count of
+// 1 the whole pipeline runs on the calling goroutine — no goroutines, no
+// synchronization, the serial reference execution.
+func Stream[J, R any](workers, inFlight int, next func() (J, bool, error), fn func(J) R, emit func(R) error) error {
+	w := Workers(workers)
+	if w == 1 {
+		for {
+			j, ok, err := next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			if err := emit(fn(j)); err != nil {
+				return err
+			}
+		}
+	}
+	if inFlight <= 0 {
+		inFlight = 2 * w
+	}
+
+	type job struct {
+		j   J
+		res chan R
+	}
+	jobs := make(chan job)
+	ring := make(chan chan R, inFlight) // admission-ordered result slots
+	sem := make(chan struct{}, inFlight)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	cancel := func() { stopOnce.Do(func() { close(stop) }) }
+
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				jb.res <- fn(jb.j) // res is buffered; never blocks
+			}
+		}()
+	}
+
+	// Dispatcher: owns next. A semaphore slot is held from before the
+	// next call until the job's emit returns, so at no instant are more
+	// than inFlight jobs admitted and unemitted. Writes srcErr strictly
+	// before close(ring), so the emitter's read after draining is ordered.
+	var srcErr error
+	go func() {
+		defer close(ring)
+		defer close(jobs)
+		for {
+			select {
+			case sem <- struct{}{}: // blocks while inFlight jobs are unemitted
+			case <-stop:
+				return
+			}
+			j, ok, err := next()
+			if err != nil {
+				srcErr = err
+				return
+			}
+			if !ok {
+				return
+			}
+			res := make(chan R, 1)
+			ring <- res // capacity inFlight; the semaphore keeps it free
+			select {
+			case jobs <- job{j: j, res: res}:
+			case <-stop:
+				close(res) // admitted but never dispatched
+				return
+			}
+		}
+	}()
+
+	var emitErr error
+	for res := range ring {
+		r, ok := <-res
+		if !ok {
+			break // cancelled before dispatch; nothing follows
+		}
+		if emitErr == nil {
+			if err := emit(r); err != nil {
+				emitErr = err
+				cancel()
+			}
+		}
+		<-sem
+	}
+	wg.Wait()
+	if emitErr != nil {
+		return emitErr
+	}
+	return srcErr
+}
+
 // Gather runs body over every chunk of [0, n), collecting each chunk's
 // emitted values, and returns the concatenation in chunk order. It is the
 // order-preserving way to build a result of unpredictable size — e.g. the

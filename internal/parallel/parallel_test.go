@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -118,3 +119,131 @@ func TestGatherEmpty(t *testing.T) {
 		t.Errorf("Gather over empty range = %v, want nil", got)
 	}
 }
+
+// Stream must deliver results in admission order for every worker count,
+// even when per-job latency is wildly uneven.
+func TestStreamOrdering(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		const n = 200
+		src := 0
+		next := func() (int, bool, error) {
+			if src == n {
+				return 0, false, nil
+			}
+			src++
+			return src - 1, true, nil
+		}
+		fn := func(j int) int {
+			if j%7 == 0 { // stagger: early jobs finish late
+				for i := 0; i < 10000; i++ {
+					_ = i * i
+				}
+			}
+			return j * 2
+		}
+		var got []int
+		emit := func(r int) error { got = append(got, r); return nil }
+		if err := Stream(workers, 0, next, fn, emit); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: emitted %d, want %d", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v != i*2 {
+				t.Fatalf("workers=%d: out of order at %d: %d", workers, i, v)
+			}
+		}
+	}
+}
+
+// At most inFlight jobs may be admitted and unemitted.
+func TestStreamBoundedInFlight(t *testing.T) {
+	const inFlight = 3
+	var cur, peak atomic.Int64
+	src := 0
+	next := func() (int, bool, error) {
+		if src == 100 {
+			return 0, false, nil
+		}
+		src++
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		return src, true, nil
+	}
+	emit := func(r int) error { cur.Add(-1); return nil }
+	if err := Stream(4, inFlight, next, func(j int) int { return j }, emit); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > inFlight {
+		t.Fatalf("peak in-flight %d exceeds bound %d", p, inFlight)
+	}
+}
+
+// A source error stops admission but still emits every admitted job's
+// result, in order, before surfacing.
+func TestStreamSourceError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		src := 0
+		next := func() (int, bool, error) {
+			if src == 10 {
+				return 0, false, errBoom
+			}
+			src++
+			return src - 1, true, nil
+		}
+		var got []int
+		err := Stream(workers, 0, next, func(j int) int { return j }, func(r int) error {
+			got = append(got, r)
+			return nil
+		})
+		if err != errBoom {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if len(got) != 10 {
+			t.Fatalf("workers=%d: emitted %d results, want all 10 admitted", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: out of order at %d", workers, i)
+			}
+		}
+	}
+}
+
+// An emit error cancels the stream: admission stops promptly, no further
+// emits happen, and the emit error wins.
+func TestStreamEmitErrorCancels(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var admitted atomic.Int64
+		next := func() (int, bool, error) {
+			admitted.Add(1)
+			return 1, true, nil // endless source
+		}
+		emits := 0
+		err := Stream(workers, 4, next, func(j int) int { return j }, func(r int) error {
+			emits++
+			if emits == 5 {
+				return errBoom
+			}
+			return nil
+		})
+		if err != errBoom {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if emits != 5 {
+			t.Fatalf("workers=%d: emit called %d times after error", workers, emits)
+		}
+		// Admission is bounded by the window, not by the endless source.
+		if a := admitted.Load(); a > 5+8+2 {
+			t.Fatalf("workers=%d: %d jobs admitted after cancel", workers, a)
+		}
+	}
+}
+
+var errBoom = errors.New("boom")

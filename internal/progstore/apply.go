@@ -11,6 +11,8 @@
 package progstore
 
 import (
+	clx "clx"
+
 	"clx/internal/cluster"
 	"clx/internal/synth"
 )
@@ -60,6 +62,19 @@ type DriftCluster struct {
 
 // driftSampleCap bounds the sample rows carried per drift cluster.
 const driftSampleCap = 3
+
+// Load returns the decoded program for id together with its version — the
+// entry point for callers that drive the program themselves, e.g. the
+// streaming bulk-apply engine. The returned program is a private shallow
+// copy: setting Workers on it never races another apply of the same id.
+func (s *Store) Load(id string) (*clx.SavedProgram, int, error) {
+	lp, version, err := s.program(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	sp := *lp.sp
+	return &sp, version, nil
+}
 
 // Apply runs rows through stored program id with the given worker
 // fan-out. It performs no synthesis: the decoded program is cached per

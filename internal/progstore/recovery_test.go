@@ -1,0 +1,215 @@
+// Table-driven recovery scenarios beyond the torn-tail cases: duplicate
+// records in the WAL, version bumps replayed over a snapshot, and
+// interleaved put/delete histories. Each scenario builds a store state —
+// possibly editing the WAL by hand the way a crash or a retried append
+// would — then reopens crash-style (no Close) and checks the recovered
+// registry entry for entry: ids, versions, listing order, and that the
+// next id allocation never collides.
+package progstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// appendLastWALRecord re-appends the final intact WAL line verbatim — the
+// artifact of an append retried after a lost acknowledgment.
+func appendLastWALRecord(t *testing.T, wal string) {
+	t.Helper()
+	raw, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n")
+	last := lines[len(lines)-1]
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteString(last + "\n"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryScenarios(t *testing.T) {
+	type want struct {
+		// ids in listing order; versions by id.
+		ids      []string
+		versions map[string]int
+	}
+	cases := []struct {
+		name string
+		// build mutates a fresh store at dir and returns the expected
+		// post-recovery state. It must NOT Close the final store handle —
+		// recovery runs crash-style.
+		build func(t *testing.T, dir string) want
+	}{
+		{
+			// A retried append duplicates the final put record (same seq,
+			// same entry, same version). Replay must be idempotent: one
+			// entry, listed once.
+			name: "duplicate-put-record",
+			build: func(t *testing.T, dir string) want {
+				s, err := Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prog := makeProgram(t, phoneRows, phoneTarget)
+				a, err := s.Register(prog, Meta{Name: "a"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := s.Register(prog, Meta{Name: "b"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				appendLastWALRecord(t, filepath.Join(dir, "wal.jsonl"))
+				return want{ids: []string{a.ID, b.ID},
+					versions: map[string]int{a.ID: 1, b.ID: 1}}
+			},
+		},
+		{
+			// Re-registering the same id writes one put record per
+			// version; replay must keep the newest version, not the count
+			// of records, and the duplicate id must not duplicate the
+			// listing entry.
+			name: "duplicate-version-entries",
+			build: func(t *testing.T, dir string) want {
+				s, err := Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prog := makeProgram(t, phoneRows, phoneTarget)
+				if _, err := s.Register(prog, Meta{ID: "px", Name: "v1"}); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Register(prog, Meta{ID: "px", Name: "v2"}); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Register(prog, Meta{ID: "px", Name: "v3"}); err != nil {
+					t.Fatal(err)
+				}
+				// And a retried append of the final (v3) record on top.
+				appendLastWALRecord(t, filepath.Join(dir, "wal.jsonl"))
+				return want{ids: []string{"px"}, versions: map[string]int{"px": 3}}
+			},
+		},
+		{
+			// Snapshot and WAL compose in order: entries folded into the
+			// snapshot by Close, then a version bump, a delete, and a new
+			// put appended to the fresh WAL. Recovery must apply the WAL
+			// over the snapshot, not beside it.
+			name: "snapshot-then-wal-ordering",
+			build: func(t *testing.T, dir string) want {
+				s, err := Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prog := makeProgram(t, phoneRows, phoneTarget)
+				if _, err := s.Register(prog, Meta{ID: "pa"}); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Register(prog, Meta{ID: "pb"}); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Close(); err != nil { // folds both into snapshot.json
+					t.Fatal(err)
+				}
+				s, err = Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Register(prog, Meta{ID: "pa"}); err != nil { // pa -> v2
+					t.Fatal(err)
+				}
+				if ok, err := s.Delete("pb"); err != nil || !ok {
+					t.Fatalf("Delete(pb) = %v, %v", ok, err)
+				}
+				if _, err := s.Register(prog, Meta{ID: "pc"}); err != nil {
+					t.Fatal(err)
+				}
+				return want{ids: []string{"pa", "pc"},
+					versions: map[string]int{"pa": 2, "pc": 1}}
+			},
+		},
+		{
+			// Delete then re-put of the same id within one WAL: the id is
+			// live again, starting over at version 1, listed at its new
+			// position (the end).
+			name: "delete-then-reput",
+			build: func(t *testing.T, dir string) want {
+				s, err := Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prog := makeProgram(t, phoneRows, phoneTarget)
+				if _, err := s.Register(prog, Meta{ID: "pd"}); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Register(prog, Meta{ID: "pe"}); err != nil {
+					t.Fatal(err)
+				}
+				if ok, err := s.Delete("pd"); err != nil || !ok {
+					t.Fatalf("Delete(pd) = %v, %v", ok, err)
+				}
+				if _, err := s.Register(prog, Meta{ID: "pd"}); err != nil {
+					t.Fatal(err)
+				}
+				return want{ids: []string{"pe", "pd"},
+					versions: map[string]int{"pe": 1, "pd": 1}}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			w := tc.build(t, dir)
+
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			defer s.Close()
+			got := s.List()
+			if len(got) != len(w.ids) {
+				t.Fatalf("recovered %d entries, want %d: %+v", len(got), len(w.ids), got)
+			}
+			for i, e := range got {
+				if e.ID != w.ids[i] {
+					t.Fatalf("listing[%d] = %s, want %s", i, e.ID, w.ids[i])
+				}
+				if e.Version != w.versions[e.ID] {
+					t.Fatalf("%s recovered at version %d, want %d", e.ID, e.Version, w.versions[e.ID])
+				}
+			}
+			// Each recovered program still loads and applies.
+			for _, id := range w.ids {
+				sp, version, err := s.Load(id)
+				if err != nil {
+					t.Fatalf("Load(%s): %v", id, err)
+				}
+				if version != w.versions[id] {
+					t.Fatalf("Load(%s) version %d, want %d", id, version, w.versions[id])
+				}
+				out, _ := sp.Transform([]string{"(917) 555-0100"})
+				if out[0] != "917-555-0100" {
+					t.Fatalf("Load(%s) program output = %q", id, out[0])
+				}
+			}
+			// The recovered sequence allocator never re-issues a live id.
+			prog := makeProgram(t, phoneRows, phoneTarget)
+			e, err := s.Register(prog, Meta{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, id := range w.ids {
+				if e.ID == id {
+					t.Fatalf("fresh id %s collides with a recovered entry", e.ID)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,79 @@
+// Chunk-output encoders: append one value at a time into a caller-owned
+// buffer, record terminator included, with no per-value allocation. The
+// engine encodes a whole chunk into one payload buffer on the worker, so
+// the in-order emitter only writes bytes.
+package stream
+
+import (
+	"unicode/utf8"
+)
+
+// Encoder appends one encoded value (terminator included) to dst.
+// Implementations must be safe for concurrent use — chunks encode on
+// worker goroutines.
+type Encoder interface {
+	AppendValue(dst []byte, v []byte) []byte
+}
+
+// LineEncoder writes raw values, one per line — the inverse of
+// NewLineReader. Values containing newlines are not representable; use
+// NDJSONEncoder for those.
+type LineEncoder struct{}
+
+func (LineEncoder) AppendValue(dst []byte, v []byte) []byte {
+	dst = append(dst, v...)
+	return append(dst, '\n')
+}
+
+// NDJSONEncoder writes each value as a JSON string on its own line — the
+// inverse of NewNDJSONReader and the lossless format. Invalid UTF-8 is
+// replaced with U+FFFD exactly as encoding/json does, so written output
+// always re-reads to the same values (write ∘ read is idempotent).
+type NDJSONEncoder struct{}
+
+func (NDJSONEncoder) AppendValue(dst []byte, v []byte) []byte {
+	dst = appendJSONString(dst, v)
+	return append(dst, '\n')
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends v as a quoted JSON string. Control characters
+// are \u-escaped, quote and backslash are backslash-escaped, valid UTF-8
+// passes through verbatim, and invalid bytes become U+FFFD — the same
+// observable encoding as encoding/json.Marshal minus its HTML escaping.
+func appendJSONString(dst []byte, v []byte) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(v); {
+		b := v[i]
+		if b < utf8.RuneSelf {
+			switch {
+			case b == '"':
+				dst = append(dst, '\\', '"')
+			case b == '\\':
+				dst = append(dst, '\\', '\\')
+			case b == '\n':
+				dst = append(dst, '\\', 'n')
+			case b == '\r':
+				dst = append(dst, '\\', 'r')
+			case b == '\t':
+				dst = append(dst, '\\', 't')
+			case b < 0x20:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xf])
+			default:
+				dst = append(dst, b)
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRune(v[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, "�"...)
+			i++
+			continue
+		}
+		dst = append(dst, v[i:i+size]...)
+		i += size
+	}
+	return append(dst, '"')
+}

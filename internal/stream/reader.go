@@ -1,0 +1,259 @@
+// Chunked column readers: incremental sources that yield the values of a
+// string column a bounded batch at a time, never materializing the input.
+// All three formats the CLI and daemon speak are covered — raw lines, NDJSON
+// (one JSON string per line, the lossless format), and CSV with a column
+// selector — and every reader is built for arbitrary byte streams: values
+// split across internal read buffers, CRLF/LF mixes, empty records, and
+// multi-byte UTF-8 runes cut at a buffer boundary are all reassembled
+// exactly, which FuzzStreamReader pins down.
+package stream
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Reader yields successive values of a column. Implementations are not safe
+// for concurrent use; the engine calls Next from a single goroutine.
+type Reader interface {
+	// Next returns the next batch of at most max values. It returns a nil
+	// or shorter batch together with io.EOF when the input is exhausted
+	// (the final batch may carry both values and io.EOF).
+	Next(max int) ([]string, error)
+}
+
+// defaultReadBuf is the byte-read granularity of the line-based readers.
+// Tests and the fuzz target shrink it to force value splits at every
+// possible byte boundary, including mid-rune.
+const defaultReadBuf = 64 << 10
+
+// lineScanner reassembles newline-terminated records from fixed-size byte
+// reads. Splitting happens only at '\n' bytes, so a multi-byte UTF-8 rune
+// cut by the read buffer is reunited before the record is surfaced. A
+// single trailing '\r' is stripped (CRLF input), and a final record without
+// its newline still counts.
+type lineScanner struct {
+	r    io.Reader
+	buf  []byte // fixed read buffer
+	data []byte // unconsumed bytes of the last read
+	pend []byte // partial record carried across reads
+	eof  bool
+}
+
+func newLineScanner(r io.Reader, bufSize int) *lineScanner {
+	if bufSize <= 0 {
+		bufSize = defaultReadBuf
+	}
+	return &lineScanner{r: r, buf: make([]byte, bufSize)}
+}
+
+// nextLine returns the next record. ok=false with err=nil means the input
+// is exhausted.
+func (s *lineScanner) nextLine() (line []byte, ok bool, err error) {
+	for {
+		// Look for a record end in the unconsumed window.
+		for i, b := range s.data {
+			if b == '\n' {
+				rec := s.data[:i]
+				s.data = s.data[i+1:]
+				if len(s.pend) > 0 {
+					rec = append(s.pend, rec...)
+					s.pend = s.pend[:0]
+				}
+				return trimCR(rec), true, nil
+			}
+		}
+		// No newline: the window is a partial record. Copy it out of the
+		// read buffer before refilling.
+		if len(s.data) > 0 {
+			s.pend = append(s.pend, s.data...)
+			s.data = nil
+		}
+		if s.eof {
+			if len(s.pend) > 0 {
+				rec := trimCR(s.pend)
+				s.pend = nil
+				return rec, true, nil
+			}
+			return nil, false, nil
+		}
+		n, rerr := s.r.Read(s.buf)
+		s.data = s.buf[:n]
+		if rerr == io.EOF {
+			s.eof = true
+			continue
+		}
+		if rerr != nil {
+			return nil, false, rerr
+		}
+		if n == 0 {
+			// A Reader may return 0, nil; loop (io.Reader contract allows
+			// it, and retrying is the portable response).
+			continue
+		}
+	}
+}
+
+func trimCR(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		return b[:n-1]
+	}
+	return b
+}
+
+// LineReader reads one raw value per line. It is the format of the clx
+// CLI's plain input: values must not themselves contain newlines (use
+// NDJSON for those).
+type lineReader struct {
+	sc *lineScanner
+}
+
+// NewLineReader returns a Reader over one-value-per-line input.
+func NewLineReader(r io.Reader) Reader { return &lineReader{sc: newLineScanner(r, 0)} }
+
+// newLineReaderSize is NewLineReader with an explicit read-buffer size, for
+// boundary-split tests.
+func newLineReaderSize(r io.Reader, bufSize int) Reader {
+	return &lineReader{sc: newLineScanner(r, bufSize)}
+}
+
+func (lr *lineReader) Next(max int) ([]string, error) {
+	if max <= 0 {
+		max = 1
+	}
+	var out []string
+	for len(out) < max {
+		line, ok, err := lr.sc.nextLine()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, io.EOF
+		}
+		out = append(out, string(line))
+	}
+	return out, nil
+}
+
+// ndjsonReader reads one JSON string per line. Blank lines are tolerated
+// (trailing newlines, CRLF artifacts); any other JSON value is an error —
+// the column is a string column.
+type ndjsonReader struct {
+	sc   *lineScanner
+	line int
+}
+
+// NewNDJSONReader returns a Reader over NDJSON input: one JSON string per
+// line. NDJSON is the lossless format — values may contain newlines, any
+// Unicode, or bytes that raw lines cannot carry.
+func NewNDJSONReader(r io.Reader) Reader { return &ndjsonReader{sc: newLineScanner(r, 0)} }
+
+func newNDJSONReaderSize(r io.Reader, bufSize int) Reader {
+	return &ndjsonReader{sc: newLineScanner(r, bufSize)}
+}
+
+func (nr *ndjsonReader) Next(max int) ([]string, error) {
+	if max <= 0 {
+		max = 1
+	}
+	var out []string
+	for len(out) < max {
+		line, ok, err := nr.sc.nextLine()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, io.EOF
+		}
+		nr.line++
+		if len(line) == 0 {
+			continue // blank line between records
+		}
+		var v string
+		if err := json.Unmarshal(line, &v); err != nil {
+			return out, fmt.Errorf("stream: ndjson line %d: %w", nr.line, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// csvReader selects one column of a CSV stream. encoding/csv carries the
+// quoting rules (embedded newlines, doubled quotes, CRLF) and reports
+// malformed quoting as an error rather than guessing.
+type csvReader struct {
+	cr     *csv.Reader
+	col    int
+	header bool // skip the first record
+	first  bool
+	row    int
+}
+
+// NewCSVReader returns a Reader over the col'th field (0-based) of CSV
+// input. With header set the first record is skipped.
+func NewCSVReader(r io.Reader, col int, header bool) Reader {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.LazyQuotes = false
+	return &csvReader{cr: cr, col: col, header: header, first: true}
+}
+
+func (cr *csvReader) Next(max int) ([]string, error) {
+	if max <= 0 {
+		max = 1
+	}
+	var out []string
+	for len(out) < max {
+		rec, err := cr.cr.Read()
+		if err == io.EOF {
+			return out, io.EOF
+		}
+		if err != nil {
+			return out, err
+		}
+		cr.row++
+		if cr.first && cr.header {
+			cr.first = false
+			continue
+		}
+		cr.first = false
+		if cr.col < 0 || cr.col >= len(rec) {
+			return out, fmt.Errorf("stream: csv row %d has %d columns, want index %d",
+				cr.row, len(rec), cr.col)
+		}
+		out = append(out, rec[cr.col])
+	}
+	return out, nil
+}
+
+// sliceReader serves an in-memory column — the reference source for
+// differential tests and benchmarks, where reader parsing must not be a
+// variable.
+type sliceReader struct {
+	rows []string
+	pos  int
+}
+
+// NewSliceReader returns a Reader over an in-memory column.
+func NewSliceReader(rows []string) Reader { return &sliceReader{rows: rows} }
+
+func (sr *sliceReader) Next(max int) ([]string, error) {
+	if max <= 0 {
+		max = 1
+	}
+	if sr.pos >= len(sr.rows) {
+		return nil, io.EOF
+	}
+	end := sr.pos + max
+	if end > len(sr.rows) {
+		end = len(sr.rows)
+	}
+	out := sr.rows[sr.pos:end]
+	sr.pos = end
+	if sr.pos == len(sr.rows) {
+		return out, io.EOF
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+package stream
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// readAll drains a Reader in batches of max.
+func readAll(t *testing.T, r Reader, max int) []string {
+	t.Helper()
+	var out []string
+	for {
+		batch, err := r.Next(max)
+		out = append(out, batch...)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+}
+
+// Every read-buffer size must reassemble the same values: records split
+// across reads, CRLF and LF mixed, empty records, a final record without
+// its newline, and multi-byte UTF-8 cut at any byte boundary.
+func TestLineReaderBufferBoundaries(t *testing.T) {
+	input := "plain\r\ncafé 12\n日本語123\n\n\r\nlast without newline"
+	want := []string{"plain", "café 12", "日本語123", "", "", "last without newline"}
+	for _, bufSize := range []int{1, 2, 3, 5, 7, 64, defaultReadBuf} {
+		for _, max := range []int{1, 2, 100} {
+			r := newLineReaderSize(strings.NewReader(input), bufSize)
+			got := readAll(t, r, max)
+			if len(got) != len(want) {
+				t.Fatalf("buf=%d max=%d: %d values, want %d: %q", bufSize, max, len(got), len(want), got)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("buf=%d max=%d: value %d = %q, want %q", bufSize, max, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLineReaderEmptyAndSingle(t *testing.T) {
+	if got := readAll(t, NewLineReader(strings.NewReader("")), 8); len(got) != 0 {
+		t.Fatalf("empty input: %q", got)
+	}
+	if got := readAll(t, NewLineReader(strings.NewReader("\n")), 8); len(got) != 1 || got[0] != "" {
+		t.Fatalf("single newline: %q", got)
+	}
+	if got := readAll(t, NewLineReader(strings.NewReader("a")), 8); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("no trailing newline: %q", got)
+	}
+}
+
+func TestNDJSONReader(t *testing.T) {
+	input := "\"plain\"\n\"with\\nnewline\"\n\n\"café\"\r\n\"\\u00e9\"\n"
+	want := []string{"plain", "with\nnewline", "café", "é"}
+	for _, bufSize := range []int{1, 3, 64} {
+		got := readAll(t, newNDJSONReaderSize(strings.NewReader(input), bufSize), 2)
+		if len(got) != len(want) {
+			t.Fatalf("buf=%d: %d values, want %d: %q", bufSize, len(got), len(want), got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("buf=%d: value %d = %q, want %q", bufSize, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNDJSONReaderRejectsNonStrings(t *testing.T) {
+	for _, input := range []string{"42\n", "{\"a\":1}\n", "\"ok\"\nnot json\n"} {
+		r := NewNDJSONReader(strings.NewReader(input))
+		var err error
+		for err == nil {
+			_, err = r.Next(8)
+		}
+		if err == io.EOF {
+			t.Errorf("input %q: accepted", input)
+		}
+	}
+}
+
+func TestCSVReader(t *testing.T) {
+	input := "name,phone\r\n\"Fisher, Kate\",313-263-1192\n\"multi\nline\",734-645-8397\n"
+	got := readAll(t, NewCSVReader(strings.NewReader(input), 0, true), 10)
+	want := []string{"Fisher, Kate", "multi\nline"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("column 0 = %q, want %q", got, want)
+	}
+	got = readAll(t, NewCSVReader(strings.NewReader(input), 1, true), 1)
+	if len(got) != 2 || got[0] != "313-263-1192" {
+		t.Fatalf("column 1 = %q", got)
+	}
+}
+
+func TestCSVReaderErrors(t *testing.T) {
+	// Malformed quoting is an error, not a panic.
+	r := NewCSVReader(strings.NewReader("ok\n\"unterminated\n"), 0, false)
+	var err error
+	for err == nil {
+		_, err = r.Next(8)
+	}
+	if err == io.EOF {
+		t.Error("malformed quoting accepted")
+	}
+	// Column out of range names the row.
+	r = NewCSVReader(strings.NewReader("a,b\nc\n"), 1, false)
+	_, err = r.Next(1)
+	if err != nil {
+		t.Fatalf("first row: %v", err)
+	}
+	if _, err = r.Next(1); err == nil || !strings.Contains(err.Error(), "row 2") {
+		t.Fatalf("short row error = %v", err)
+	}
+}
+
+func TestSliceReaderBatches(t *testing.T) {
+	rows := []string{"a", "b", "c", "d", "e"}
+	r := NewSliceReader(rows)
+	b1, err := r.Next(2)
+	if err != nil || len(b1) != 2 {
+		t.Fatalf("batch 1 = %q, %v", b1, err)
+	}
+	b2, err := r.Next(2)
+	if err != nil || len(b2) != 2 {
+		t.Fatalf("batch 2 = %q, %v", b2, err)
+	}
+	b3, err := r.Next(2)
+	if err != io.EOF || len(b3) != 1 || b3[0] != "e" {
+		t.Fatalf("batch 3 = %q, %v", b3, err)
+	}
+}
+
+// The encoders invert their readers: read(write(values)) == values for any
+// valid UTF-8 values (lines additionally require newline-free values).
+func TestEncoderRoundTrip(t *testing.T) {
+	values := []string{"plain", "", "café 12", "日本語123", "  spaced  ", `quotes " and \ back`}
+	var buf []byte
+	for _, v := range values {
+		buf = NDJSONEncoder{}.AppendValue(buf, []byte(v))
+	}
+	got := readAll(t, NewNDJSONReader(strings.NewReader(string(buf))), 3)
+	if len(got) != len(values) {
+		t.Fatalf("round trip: %d values, want %d", len(got), len(values))
+	}
+	for i := range values {
+		if got[i] != values[i] {
+			t.Fatalf("value %d = %q, want %q", i, got[i], values[i])
+		}
+	}
+	withNewline := append(values, "a\nb")
+	buf = buf[:0]
+	for _, v := range withNewline {
+		buf = NDJSONEncoder{}.AppendValue(buf, []byte(v))
+	}
+	got = readAll(t, NewNDJSONReader(strings.NewReader(string(buf))), 100)
+	if got[len(got)-1] != "a\nb" {
+		t.Fatalf("ndjson lost the newline value: %q", got)
+	}
+
+	buf = buf[:0]
+	for _, v := range values {
+		buf = LineEncoder{}.AppendValue(buf, []byte(v))
+	}
+	got = readAll(t, NewLineReader(strings.NewReader(string(buf))), 4)
+	for i := range values {
+		if got[i] != values[i] {
+			t.Fatalf("lines value %d = %q, want %q", i, got[i], values[i])
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Process-wide streaming counters, the GET /v1/stats surface: every Run
+// folds its per-stream stats in here, so a deployment can watch bulk-apply
+// throughput and failure counts without scraping per-request logs.
+package stream
+
+import "sync/atomic"
+
+// Counters is a snapshot of the process-wide streaming totals.
+type Counters struct {
+	// Streams counts completed runs; Errors the runs that ended with a
+	// reader or writer error (aborted client included).
+	Streams int64 `json:"streams"`
+	Errors  int64 `json:"errors"`
+	// Rows, Chunks and Flagged accumulate over all runs.
+	Rows    int64 `json:"rows"`
+	Chunks  int64 `json:"chunks"`
+	Flagged int64 `json:"flagged"`
+	// PeakInFlight is the maximum in-flight chunk window any run reached.
+	PeakInFlight int64 `json:"peak_in_flight"`
+}
+
+var global struct {
+	streams, errors, rows, chunks, flagged, peak atomic.Int64
+}
+
+// record folds one run into the process counters.
+func record(st Stats, err error) {
+	global.streams.Add(1)
+	if err != nil {
+		global.errors.Add(1)
+	}
+	global.rows.Add(st.Rows)
+	global.chunks.Add(st.Chunks)
+	global.flagged.Add(st.Flagged)
+	for {
+		p := global.peak.Load()
+		if int64(st.PeakInFlight) <= p || global.peak.CompareAndSwap(p, int64(st.PeakInFlight)) {
+			break
+		}
+	}
+}
+
+// GlobalStats returns a snapshot of the process-wide streaming counters.
+func GlobalStats() Counters {
+	return Counters{
+		Streams:      global.streams.Load(),
+		Errors:       global.errors.Load(),
+		Rows:         global.rows.Load(),
+		Chunks:       global.chunks.Load(),
+		Flagged:      global.flagged.Load(),
+		PeakInFlight: global.peak.Load(),
+	}
+}
+
+// ResetGlobalStats zeroes the process counters (tests and benchmarks).
+func ResetGlobalStats() {
+	global.streams.Store(0)
+	global.errors.Store(0)
+	global.rows.Store(0)
+	global.chunks.Store(0)
+	global.flagged.Store(0)
+	global.peak.Store(0)
+}

@@ -115,6 +115,31 @@ func (cp *CompiledGuardedProgram) Apply(s string) (string, error) {
 	return "", ErrNoMatch
 }
 
+// AppendApply transforms s exactly as Apply does but appends the result to
+// dst instead of allocating a string — the bulk-apply hot path, where the
+// caller owns a reusable per-chunk buffer. On any error dst is returned
+// grown only by whatever the failing plan wrote; callers that need
+// all-or-nothing truncate back to their own mark.
+func (cp *CompiledGuardedProgram) AppendApply(dst []byte, s string) ([]byte, error) {
+	for _, c := range cp.cases {
+		spans, ok := c.matcher.Match(s)
+		if !ok {
+			continue
+		}
+		if c.guard != nil {
+			if sg, ok := c.guard.(spanGuard); ok {
+				if !sg.holdsSpans(s, spans) {
+					continue
+				}
+			} else if !c.guard.Holds(c.source, s) {
+				continue
+			}
+		}
+		return c.plan.appendSpans(dst, s, spans)
+	}
+	return dst, ErrNoMatch
+}
+
 // applySpans evaluates the plan over precomputed match spans.
 func (p Plan) applySpans(s string, spans []rematch.Span) (string, error) {
 	var b strings.Builder
@@ -133,4 +158,23 @@ func (p Plan) applySpans(s string, spans []rematch.Span) (string, error) {
 		}
 	}
 	return b.String(), nil
+}
+
+// appendSpans is applySpans into a caller-owned buffer.
+func (p Plan) appendSpans(dst []byte, s string, spans []rematch.Span) ([]byte, error) {
+	for _, op := range p.Ops {
+		switch op := op.(type) {
+		case ConstStr:
+			dst = append(dst, op.S...)
+		case Extract:
+			if op.I < 1 || op.J > len(spans) || op.I > op.J {
+				return dst, fmt.Errorf("unifi: Extract(%d,%d) out of range for source of %d tokens",
+					op.I, op.J, len(spans))
+			}
+			dst = append(dst, s[spans[op.I-1].Start:spans[op.J-1].End]...)
+		default:
+			return dst, fmt.Errorf("unifi: unknown operator %T", op)
+		}
+	}
+	return dst, nil
 }

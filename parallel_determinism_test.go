@@ -8,6 +8,7 @@
 package clx_test
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	clx "clx"
 	"clx/internal/benchsuite"
 	"clx/internal/simuser"
+	"clx/internal/stream"
 )
 
 // pipelineFingerprint renders everything user-visible about one session
@@ -103,6 +105,94 @@ func TestCountedPathDeterminism(t *testing.T) {
 			t.Fatalf("workers=%d diverges from serial:\n%s", w, firstDiff(serial, got))
 		}
 	}
+}
+
+// TestStreamDifferentialBenchSuite is the differential layer over the
+// 47-task suite: for every task, the streaming bulk-apply engine must
+// produce output byte-identical to the in-memory SavedProgram.Transform —
+// same bytes, same order, same flagged indices — for chunk sizes spanning
+// one-row chunks through chunks larger than any task column, and worker
+// counts spanning serial through oversubscribed. Chunk boundaries and
+// fan-out must be invisible.
+func TestStreamDifferentialBenchSuite(t *testing.T) {
+	tasks := benchsuite.Tasks()
+	if len(tasks) < 47 {
+		t.Fatalf("benchmark suite has %d tasks, want >= 47", len(tasks))
+	}
+	programs := 0
+	for _, task := range tasks {
+		task := task
+		t.Run(task.Name, func(t *testing.T) {
+			// A task contributes once any selected target labels and
+			// exports; tasks where no target labels are the suite's known
+			// expressivity failures, not streaming bugs.
+			var sp *clx.SavedProgram
+			for _, target := range simuser.SelectTargets(task.Inputs, task.Outputs) {
+				tr, err := clx.NewSession(task.Inputs).Label(target)
+				if err != nil {
+					continue
+				}
+				raw, err := tr.Export()
+				if err != nil {
+					continue
+				}
+				if sp, err = clx.LoadProgram(raw); err != nil {
+					t.Fatalf("exported program does not load: %v", err)
+				}
+				break
+			}
+			if sp == nil {
+				t.Skip("no selected target labels this task")
+			}
+			wantOut, wantFlagged := sp.Transform(task.Inputs)
+			var want bytes.Buffer
+			for _, v := range wantOut {
+				want.WriteString(v)
+				want.WriteByte('\n')
+			}
+			for _, chunk := range []int{1, 7, 1024} {
+				for _, workers := range []int{1, 4, 8} {
+					var got bytes.Buffer
+					var flagged []int
+					st, err := stream.Run(sp, stream.NewSliceReader(task.Inputs),
+						stream.LineEncoder{}, &got, stream.Options{
+							ChunkSize: chunk, Workers: workers,
+							OnFlagged: func(row int) { flagged = append(flagged, row) }})
+					if err != nil {
+						t.Fatalf("chunk=%d workers=%d: %v", chunk, workers, err)
+					}
+					if got.String() != want.String() {
+						t.Fatalf("chunk=%d workers=%d: stream output diverges:\n%s",
+							chunk, workers, firstDiff(want.String(), got.String()))
+					}
+					if !equalIndices(flagged, wantFlagged) {
+						t.Fatalf("chunk=%d workers=%d: flagged %v, want %v",
+							chunk, workers, flagged, wantFlagged)
+					}
+					if st.Rows != int64(len(task.Inputs)) {
+						t.Fatalf("chunk=%d workers=%d: stats count %d rows, want %d",
+							chunk, workers, st.Rows, len(task.Inputs))
+					}
+				}
+			}
+			programs++
+		})
+	}
+	if programs < 40 {
+		t.Fatalf("only %d/%d tasks produced a program; the differential layer lost coverage", programs, len(tasks))
+	}
+}
+
+func equalIndices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // firstDiff locates the first differing line of two multi-line dumps.

@@ -120,6 +120,23 @@ func (sp *SavedProgram) Apply(s string) (string, bool) {
 	return out, true
 }
 
+// AppendApply is Apply into a caller-owned buffer: the transformed value
+// (or, for uncovered rows, the input itself) is appended to dst with no
+// per-row string allocation. The appended bytes and the ok flag are
+// byte-for-byte the Apply result — the invariant the streaming bulk-apply
+// engine's differential suite pins against Transform.
+func (sp *SavedProgram) AppendApply(dst []byte, s string) ([]byte, bool) {
+	if sp.targetM.Matches(s) {
+		return append(dst, s...), true
+	}
+	mark := len(dst)
+	out, err := sp.compiled.AppendApply(dst, s)
+	if err != nil {
+		return append(out[:mark], s...), false
+	}
+	return out, true
+}
+
 // Transform applies the program to a column, returning the output and the
 // indices of rows left unchanged for review. Rows are applied across
 // sp.Workers goroutines; output order and flagged order are identical to a

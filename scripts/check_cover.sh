@@ -1,0 +1,42 @@
+#!/bin/sh
+# check_cover.sh — enforce the checked-in per-package coverage floors.
+#
+# Runs `go test -short -cover ./...` once and compares every package's
+# statement coverage against scripts/cover_floors.txt. Exits non-zero if
+# any listed package tests fail or fall below its floor, or if a floor
+# references a package the test run did not report (renamed/deleted
+# packages must update the floors file).
+set -eu
+cd "$(dirname "$0")/.."
+floors=scripts/cover_floors.txt
+
+out=$(go test -short -cover ./... 2>&1) || {
+	printf '%s\n' "$out"
+	echo "cover: tests failed" >&2
+	exit 1
+}
+printf '%s\n' "$out"
+
+fail=0
+while read -r pkg floor; do
+	case "$pkg" in '' | '#'*) continue ;; esac
+	pct=$(printf '%s\n' "$out" |
+		awk -v pkg="$pkg" '$1 == "ok" && $2 == pkg {
+			for (i = 3; i <= NF; i++) if ($i == "coverage:") { sub(/%$/, "", $(i+1)); print $(i+1); exit }
+		}')
+	if [ -z "$pct" ]; then
+		echo "cover: no coverage reported for $pkg (package gone? update $floors)" >&2
+		fail=1
+		continue
+	fi
+	below=$(awk -v p="$pct" -v f="$floor" 'BEGIN { print (p + 0 < f + 0) ? 1 : 0 }')
+	if [ "$below" = 1 ]; then
+		echo "cover: $pkg at ${pct}% is below its ${floor}% floor" >&2
+		fail=1
+	fi
+done <"$floors"
+
+if [ "$fail" = 0 ]; then
+	echo "cover: all floors hold"
+fi
+exit "$fail"

@@ -1,0 +1,21 @@
+#!/bin/sh
+# fuzz_smoke.sh — short fuzzing pass over every fuzz target.
+#
+# `go test -fuzz` takes exactly one target per invocation, so this
+# enumerates the targets and gives each FUZZTIME (default 10s) of
+# coverage-guided input generation on top of its seed corpus. Any crasher
+# fails the run (and `go test` writes the reproducer under testdata/fuzz).
+set -eu
+cd "$(dirname "$0")/.."
+FUZZTIME=${FUZZTIME:-10s}
+
+targets=$(go test -list 'Fuzz.*' . | grep '^Fuzz' || true)
+if [ -z "$targets" ]; then
+	echo "fuzz-smoke: no fuzz targets found" >&2
+	exit 1
+fi
+for t in $targets; do
+	echo "fuzz-smoke: $t ($FUZZTIME)"
+	go test -run '^$' -fuzz "^$t\$" -fuzztime "$FUZZTIME" .
+done
+echo "fuzz-smoke: all targets clean"
