@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: test race gate cover fuzz-smoke bench bench-profile pipeline profile bench-store bench-stream
+.PHONY: test race gate cover fuzz-smoke bench bench-profile pipeline profile bench-store bench-stream bench-obs obs-smoke
 
 # Tier-1: vet + build + unit tests (ROADMAP.md contract).
 test:
@@ -18,9 +18,10 @@ test:
 race:
 	$(GO) vet ./... && $(GO) test -race ./...
 
-# Full gate: tier-1, race tier, per-package coverage floors, and a
-# 10s-per-target fuzz smoke over the seed corpora.
-gate: test race cover fuzz-smoke
+# Full gate: tier-1, race tier, per-package coverage floors, a
+# 10s-per-target fuzz smoke over the seed corpora, and the
+# metrics-overhead smoke test.
+gate: test race cover fuzz-smoke obs-smoke
 
 # Coverage floors: every package listed in scripts/cover_floors.txt must
 # stay at or above its floor.
@@ -61,3 +62,15 @@ bench-store:
 # Transform: rows/sec and allocs/row at 10k/100k/1M rows, workers 1/2/4/8).
 bench-stream:
 	$(GO) run ./cmd/clxbench -exp stream
+
+# Regenerate BENCH_obs.json (observability-layer overhead: instrumented vs
+# metrics-frozen pipeline and streaming apply on the 20k-row corpus).
+bench-obs:
+	$(GO) run ./cmd/clxbench -exp obs
+
+# Metrics-overhead smoke: the instrumented pipeline must stay within 5% of
+# the metrics-frozen baseline (clxbench exits non-zero past the budget).
+# The report lands in a scratch file so the committed BENCH_obs.json only
+# changes when bench-obs is run deliberately.
+obs-smoke:
+	$(GO) run ./cmd/clxbench -exp obs -obs-out /tmp/BENCH_obs_smoke.json

@@ -33,12 +33,29 @@ import (
 	"time"
 
 	"clx/internal/cluster"
+	"clx/internal/obs"
 	"clx/internal/parallel"
 	"clx/internal/pattern"
 	"clx/internal/rematch"
 	"clx/internal/replace"
 	"clx/internal/synth"
 	"clx/internal/unifi"
+)
+
+// Pipeline stage latency histograms — one series per phase of the
+// Cluster–Label–Transform loop, plus the saved-program bulk apply. The
+// quantitative-PBE signal an operator watches: profile cost tracks input
+// shape, synthesize cost tracks format diversity, transform/apply cost is
+// the serving hot path.
+var (
+	obsProfileDur = obs.NewHistogram("clx_stage_duration_seconds",
+		"Latency of one pipeline stage.", nil, "stage", "profile")
+	obsSynthDur = obs.NewHistogram("clx_stage_duration_seconds",
+		"Latency of one pipeline stage.", nil, "stage", "synthesize")
+	obsTransformDur = obs.NewHistogram("clx_stage_duration_seconds",
+		"Latency of one pipeline stage.", nil, "stage", "transform")
+	obsApplyDur = obs.NewHistogram("clx_stage_duration_seconds",
+		"Latency of one pipeline stage.", nil, "stage", "apply")
 )
 
 // Pattern is a CLX data pattern: a sequence of quantified tokens such as
@@ -140,6 +157,7 @@ type ProfileStats struct {
 
 // NewSession profiles data into pattern clusters (the Cluster phase).
 func NewSession(data []string, opts ...Options) *Session {
+	defer func(t0 time.Time) { obsProfileDur.Observe(time.Since(t0)) }(time.Now())
 	o := DefaultOptions()
 	if len(opts) > 0 {
 		o = opts[0]
@@ -212,7 +230,9 @@ func (s *Session) Label(target Pattern) (*Transformation, error) {
 	if target.IsEmpty() && len(s.data) > 0 {
 		return nil, fmt.Errorf("clx: empty target pattern")
 	}
+	t0 := time.Now()
 	res := synth.Synthesize(s.h, target, s.opts.synthOptions())
+	obsSynthDur.Observe(time.Since(t0))
 	return &Transformation{sess: s, res: res}, nil
 }
 
@@ -361,6 +381,7 @@ func (t *Transformation) guardedProgram() unifi.GuardedProgram {
 // for guarded sources, carrying an unknown keyword) are copied through and
 // their indices returned in flagged for review (§6.1).
 func (t *Transformation) Run() (out []string, flagged []int) {
+	defer func(t0 time.Time) { obsTransformDur.Observe(time.Since(t0)) }(time.Now())
 	if len(t.guards) == 0 {
 		return t.res.Transform()
 	}

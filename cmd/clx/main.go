@@ -20,11 +20,14 @@
 //	    additionally save the verified program for later use
 //	clx apply -program prog.json [-file data.txt]
 //	    apply a previously saved program without re-synthesis
-//	clx apply -stream -program prog.json [-chunk n] [-workers n]
+//	clx apply -stream -program prog.json [-ndjson] [-chunk n] [-workers n]
 //	    same, but streaming: the column is never materialized — rows flow
 //	    from the file or stdin through a bounded chunk pipeline to stdout,
 //	    so memory stays fixed no matter the column size (works with
-//	    -store/-id too)
+//	    -store/-id too). Input framing is lines, -csv, or -ndjson. On a
+//	    mid-stream source error the rows already transformed stay on
+//	    stdout, the diagnostic goes to stderr, and the exit code is
+//	    non-zero.
 //	clx check -program prog.json -expect want.txt [-file data.txt]
 //	    regression-test a saved program: apply it and diff against the
 //	    expected column, exiting non-zero on any mismatch
@@ -88,6 +91,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	name := fs.String("name", "", "human label for the registered program (transform)")
 	streamFlag := fs.Bool("stream", false,
 		"apply in streaming mode: bounded memory, input is never materialized (apply -store/-id or -program)")
+	ndjson := fs.Bool("ndjson", false,
+		"streaming mode only: parse the input as NDJSON, one JSON string per line")
 	chunk := fs.Int("chunk", 0, "rows per chunk in streaming mode (0 = default)")
 	workers := fs.Int("workers", 0, "chunk fan-out in streaming mode (0 = one per CPU, 1 = serial)")
 	if err := fs.Parse(rest); err != nil {
@@ -119,7 +124,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			return err
 		}
 		defer closeIn()
-		opts := streamOpts{csv: *csvMode, col: *col, header: *header, chunk: *chunk, workers: *workers}
+		opts := streamOpts{csv: *csvMode, ndjson: *ndjson, col: *col, header: *header, chunk: *chunk, workers: *workers}
 		if *store != "" {
 			if *id == "" {
 				return fmt.Errorf("apply -store requires -id <program id>")

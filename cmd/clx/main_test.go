@@ -202,3 +202,51 @@ func TestSaveAndApply(t *testing.T) {
 		t.Error("missing program file should error")
 	}
 }
+
+// apply -stream over NDJSON input: values survive framing losslessly and
+// the output matches the buffered apply.
+func TestApplyStreamNDJSON(t *testing.T) {
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "prog.json")
+	if _, _, err := runCLI(t, phoneInput, "transform",
+		"-target", "<D>3'-'<D>3'-'<D>4", "-save", prog); err != nil {
+		t.Fatal(err)
+	}
+	in := "\"(917) 555-0100\"\n\"734.236.3466\"\n\"N/A\"\n"
+	out, _, err := runCLI(t, in, "apply", "-stream", "-ndjson", "-program", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "917-555-0100\n734-236-3466\nN/A\n"; out != want {
+		t.Errorf("ndjson stream output = %q, want %q", out, want)
+	}
+}
+
+// The exit-code contract of apply -stream on a mid-stream source error: the
+// command fails (non-zero exit via run's error), the rows transformed
+// before the error stay on stdout, and the diagnostic names the bad row
+// and how many rows made it.
+func TestApplyStreamMidStreamErrorExit(t *testing.T) {
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "prog.json")
+	if _, _, err := runCLI(t, phoneInput, "transform",
+		"-target", "<D>3'-'<D>3'-'<D>4", "-save", prog); err != nil {
+		t.Fatal(err)
+	}
+	// Two valid NDJSON rows, then a malformed tail. chunk=1/workers=1 makes
+	// the flush boundary deterministic: both valid rows are written before
+	// the reader hits the bad line.
+	in := "\"(917) 555-0100\"\n\"734.236.3466\"\nnot json\n\"(313) 263-1192\"\n"
+	out, _, err := runCLI(t, in, "apply", "-stream", "-ndjson", "-program", prog,
+		"-chunk", "1", "-workers", "1")
+	if err == nil {
+		t.Fatal("mid-stream error must make the command fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "ndjson row 3") || !strings.Contains(msg, "after 2 rows") {
+		t.Errorf("diagnostic = %q, want the bad row and the row count", msg)
+	}
+	if want := "917-555-0100\n734-236-3466\n"; out != want {
+		t.Errorf("partial output = %q, want %q intact", out, want)
+	}
+}

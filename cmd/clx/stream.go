@@ -17,6 +17,7 @@ import (
 // streamOpts carries the flag subset the streaming path honors.
 type streamOpts struct {
 	csv     bool
+	ndjson  bool
 	col     int
 	header  bool
 	chunk   int
@@ -27,9 +28,12 @@ type streamOpts struct {
 // stdout line by line and a stream summary to stderr.
 func applyStream(stdout, stderr io.Writer, sp *clx.SavedProgram, in io.Reader, opts streamOpts) error {
 	var rd stream.Reader
-	if opts.csv {
+	switch {
+	case opts.csv:
 		rd = stream.NewCSVReader(in, opts.col, opts.header)
-	} else {
+	case opts.ndjson:
+		rd = stream.NewNDJSONReader(in)
+	default:
 		rd = stream.NewLineReader(in)
 	}
 	out := bufio.NewWriter(stdout)

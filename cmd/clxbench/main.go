@@ -16,6 +16,7 @@
 //	clxbench -exp expressivity  perfect-transformation counts
 //	clxbench -exp appendixE     user-effort summary fractions
 //	clxbench -exp stream        streaming vs in-memory bulk apply (BENCH_stream.json)
+//	clxbench -exp obs           observability-layer overhead (BENCH_obs.json)
 package main
 
 import (
@@ -69,6 +70,7 @@ func experimentsMap() map[string]func() {
 		"profile":      profileExperiment,
 		"store":        storeExperiment,
 		"stream":       streamExperiment,
+		"obs":          obsExperiment,
 		"panel":        panel,
 		"markdown":     markdown,
 		"quiz":         quiz,

@@ -1,0 +1,204 @@
+// The obs experiment: what the observability layer costs. The same binary
+// runs the public-API pipeline (profile → synthesize → transform) and a
+// streaming bulk apply twice per repetition — once with the metric
+// registry frozen (obs.SetEnabled(false), the uninstrumented baseline)
+// and once live — with the mode order alternating between repetitions and
+// a forced GC before every timed run, so scheduler drift and collection
+// debt hit both modes equally. Each repetition contributes one *paired*
+// relative difference (its two modes run adjacent in time, so machine
+// drift cancels within the pair); the overhead percentage is the median
+// over those pairs, which stays stable on noisy shared machines where
+// comparing per-mode aggregates across the whole session does not. The
+// result is persisted as BENCH_obs.json; the experiment fails (non-zero
+// exit) when the pipeline overhead exceeds -obs-max-overhead, which is
+// the metrics-overhead smoke test `make obs-smoke` runs.
+//
+//	clxbench -exp obs [-rows n] [-reps n] [-obs-out f] [-obs-max-overhead pct]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	clx "clx"
+	"clx/internal/dataset"
+	"clx/internal/obs"
+	"clx/internal/pattern"
+	"clx/internal/stream"
+)
+
+var (
+	obsOut = flag.String("obs-out", "BENCH_obs.json",
+		"obs experiment: output JSON path ('' disables the file)")
+	obsMaxOverhead = flag.Float64("obs-max-overhead", 5.0,
+		"obs experiment: fail when the instrumented pipeline is more than this % over baseline")
+	// The obs experiment compares two near-identical minima, so it needs
+	// more samples than the other experiments' medians for both modes to
+	// reach their floor on a noisy machine; each sample is ~25ms.
+	obsReps = flag.Int("obs-reps", 21, "obs experiment: timed repetitions per mode (minimum is kept)")
+)
+
+// obsModeRun holds one mode's median stage timings.
+type obsModeRun struct {
+	PipelineMS float64 `json:"pipeline_ms"`
+	StreamMS   float64 `json:"stream_ms"`
+}
+
+// obsReport is the persisted BENCH_obs.json document.
+type obsReport struct {
+	GeneratedUnix       int64      `json:"generated_unix"`
+	Rows                int        `json:"rows"`
+	GOMAXPROCS          int        `json:"gomaxprocs"`
+	Reps                int        `json:"reps"`
+	Baseline            obsModeRun `json:"baseline"`
+	Instrumented        obsModeRun `json:"instrumented"`
+	PipelineOverheadPct float64    `json:"pipeline_overhead_pct"`
+	StreamOverheadPct   float64    `json:"stream_overhead_pct"`
+	MaxOverheadPct      float64    `json:"max_overhead_pct"`
+	Pass                bool       `json:"pass"`
+}
+
+func obsExperiment() {
+	rows, _ := dataset.Phones(*pipelineRows, 6, 77)
+	target := pattern.MustParse("<D>3'-'<D>3'-'<D>4")
+	reps := *obsReps
+	fmt.Printf("== Obs: metrics/tracing overhead (rows=%d, GOMAXPROCS=%d, median of %d paired reps) ==\n",
+		len(rows), runtime.GOMAXPROCS(0), reps)
+
+	// Build the saved program once; the streaming leg measures the serving
+	// hot path, not synthesis.
+	sp := buildSavedProgram(rows, target)
+
+	pipelineOnce := func() float64 {
+		t0 := time.Now()
+		sess := clx.NewSession(rows)
+		tr, err := sess.Label(target)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clxbench: obs pipeline:", err)
+			os.Exit(1)
+		}
+		tr.Run()
+		return ms(time.Since(t0))
+	}
+	streamOnce := func() float64 {
+		t0 := time.Now()
+		if _, err := stream.Run(sp, stream.NewSliceReader(rows), stream.NDJSONEncoder{},
+			io.Discard, stream.Options{}); err != nil {
+			fmt.Fprintln(os.Stderr, "clxbench: obs stream:", err)
+			os.Exit(1)
+		}
+		return ms(time.Since(t0))
+	}
+
+	// Warm-up both legs (matcher cache, page-in, scheduler settle).
+	pipelineOnce()
+	streamOnce()
+
+	// One timed run of both legs in the given mode, behind a forced GC so
+	// allocation debt from the previous run never bills to this one.
+	timed := func(enabled bool) (pipe, strm float64) {
+		prev := obs.SetEnabled(enabled)
+		runtime.GC()
+		pipe = pipelineOnce()
+		runtime.GC()
+		strm = streamOnce()
+		obs.SetEnabled(prev)
+		return pipe, strm
+	}
+	var basePipe, instPipe, baseStream, instStream []float64
+	var pipePairs, streamPairs []float64
+	for r := 0; r < reps; r++ {
+		// Alternate the order so a drifting machine penalizes both modes
+		// symmetrically within every pair.
+		var bp, bs, ip, is float64
+		if r%2 == 0 {
+			bp, bs = timed(false)
+			ip, is = timed(true)
+		} else {
+			ip, is = timed(true)
+			bp, bs = timed(false)
+		}
+		basePipe = append(basePipe, bp)
+		baseStream = append(baseStream, bs)
+		instPipe = append(instPipe, ip)
+		instStream = append(instStream, is)
+		pipePairs = append(pipePairs, overheadPct(bp, ip))
+		streamPairs = append(streamPairs, overheadPct(bs, is))
+	}
+
+	report := obsReport{
+		GeneratedUnix:  time.Now().Unix(),
+		Rows:           len(rows),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Reps:           reps,
+		Baseline:       obsModeRun{PipelineMS: median(basePipe), StreamMS: median(baseStream)},
+		Instrumented:   obsModeRun{PipelineMS: median(instPipe), StreamMS: median(instStream)},
+		MaxOverheadPct: *obsMaxOverhead,
+	}
+	report.PipelineOverheadPct = median(pipePairs)
+	report.StreamOverheadPct = median(streamPairs)
+	report.Pass = report.PipelineOverheadPct <= report.MaxOverheadPct
+
+	fmt.Printf("%-12s %12s %12s %10s\n", "leg", "baseline", "instrumented", "overhead")
+	fmt.Printf("%-12s %10.2fms %10.2fms %+9.2f%%\n", "pipeline",
+		report.Baseline.PipelineMS, report.Instrumented.PipelineMS, report.PipelineOverheadPct)
+	fmt.Printf("%-12s %10.2fms %10.2fms %+9.2f%%\n", "stream",
+		report.Baseline.StreamMS, report.Instrumented.StreamMS, report.StreamOverheadPct)
+
+	if *obsOut != "" {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetEscapeHTML(false)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "clxbench: encode obs report:", err)
+		} else if err := os.WriteFile(*obsOut, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "clxbench: write obs report:", err)
+		} else {
+			fmt.Printf("wrote %s\n", *obsOut)
+		}
+	}
+	if !report.Pass {
+		fmt.Fprintf(os.Stderr, "clxbench: obs overhead %.2f%% exceeds the %.1f%% budget\n",
+			report.PipelineOverheadPct, report.MaxOverheadPct)
+		os.Exit(1)
+	}
+	fmt.Printf("pipeline overhead %.2f%% within the %.1f%% budget\n",
+		report.PipelineOverheadPct, report.MaxOverheadPct)
+}
+
+// buildSavedProgram synthesizes the phone program once through the public
+// export/load round trip, the same artifact the daemon serves.
+func buildSavedProgram(rows []string, target pattern.Pattern) *clx.SavedProgram {
+	sess := clx.NewSession(rows)
+	tr, err := sess.Label(target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench: obs synthesize:", err)
+		os.Exit(1)
+	}
+	raw, err := tr.Export()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench: obs export:", err)
+		os.Exit(1)
+	}
+	sp, err := clx.LoadProgram(raw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench: obs load:", err)
+		os.Exit(1)
+	}
+	return sp
+}
+
+// overheadPct is the instrumented time over baseline, in percent.
+func overheadPct(base, inst float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return 100 * (inst - base) / base
+}

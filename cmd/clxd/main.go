@@ -2,13 +2,31 @@
 // packaging a data-wrangling front end or pipeline would integrate:
 //
 //	clxd -addr :8080 [-workers n] [-store dir] [-pprof addr]
+//	     [-log-format text|json] [-max-streams n]
 //
 //	POST /v1/cluster    {"rows": [...]}                 -> pattern clusters
 //	POST /v1/transform  {"rows": [...], "target": "…",  -> program + output
 //	                     "repairs": [{"source":0,"alt":1}]}
 //	POST /v1/apply      {"rows": [...], "program": {…}} -> output (stateless)
 //	GET  /v1/stats      process counters (matcher-cache hit/miss/evict)
+//	GET  /metrics       the same counters and more in Prometheus text format
 //	GET  /healthz
+//
+// Every request is traced: a request ID (minted, or taken from an incoming
+// X-Request-ID header) rides the request context into the structured
+// access log — one line per request, -log-format json or text — and into
+// pprof goroutine labels, which worker goroutines inherit, so CPU profiles
+// slice by request. GET /metrics serves the process metric registry
+// (pipeline stage latencies, streaming totals and per-chunk latency,
+// matcher-cache hit/miss/evict, WAL append/compaction timings, HTTP
+// request counts) in the Prometheus text exposition format with no
+// third-party dependency.
+//
+// Concurrent streaming applies are capped by -max-streams (default 2× the
+// CPU count): each stream holds a chunk window of memory, so unbounded
+// admission would defeat the engine's bounded-memory guarantee. Requests
+// over the cap get 429 with a Retry-After header and the uniform error
+// envelope.
 //
 // With -pprof <addr> the daemon additionally serves net/http/pprof on that
 // address (kept off the API port so profile streaming bypasses its
@@ -58,10 +76,12 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	clx "clx"
+	"clx/internal/obs"
 	"clx/internal/progstore"
 	"clx/internal/rematch"
 	"clx/internal/stream"
@@ -75,8 +95,13 @@ func main() {
 		"program registry directory (WAL + snapshot); empty keeps the registry in memory only")
 	pprofAddr := flag.String("pprof", "",
 		"serve net/http/pprof on this extra address (e.g. localhost:6060); empty disables it")
+	logFormat := flag.String("log-format", "text",
+		"structured request-log format: text or json")
+	streams := flag.Int("max-streams", maxStreams,
+		"concurrent streaming-apply cap; requests over it get 429 + Retry-After")
 	flag.Parse()
 	srvOpts.Workers = *workers
+	maxStreams = *streams
 	if *pprofAddr != "" {
 		// A separate listener so profiling endpoints never share the API
 		// port (or its timeouts — CPU profiles stream for 30s+).
@@ -93,9 +118,10 @@ func main() {
 		log.Fatal("clxd: ", err)
 	}
 	srv := newServer(st)
+	srv.logger = obs.NewLogger(os.Stderr, *logFormat)
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.mux(),
+		Handler:           srv.handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      2 * time.Minute,
@@ -134,12 +160,32 @@ func main() {
 // columns share prepared matchers across handlers regardless of fan-out.
 var srvOpts = clx.DefaultOptions()
 
-// server carries the shared daemon state: the program registry.
+// maxStreams caps concurrent streaming applies. Each stream holds up to
+// chunk × MaxInFlight rows, so admission must be bounded for the engine's
+// fixed-memory guarantee to survive a request burst. ~2 streams per CPU
+// keeps the workers busy without stacking windows. A var so the flag and
+// tests can override it before newServer.
+var maxStreams = 2 * runtime.GOMAXPROCS(0)
+
+// server carries the shared daemon state: the program registry, the
+// request logger, and the streaming admission semaphore.
 type server struct {
-	store *progstore.Store
+	store     *progstore.Store
+	logger    *obs.Logger // nil logs nothing (tests)
+	streamSem chan struct{}
 }
 
-func newServer(st *progstore.Store) *server { return &server{store: st} }
+func newServer(st *progstore.Store) *server {
+	n := maxStreams
+	if n < 1 {
+		n = 1
+	}
+	return &server{store: st, streamSem: make(chan struct{}, n)}
+}
+
+// handler is the complete daemon handler: the route mux wrapped in the
+// tracing/logging/metrics middleware.
+func (s *server) handler() http.Handler { return s.withObs(s.mux()) }
 
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
@@ -148,6 +194,7 @@ func (s *server) mux() *http.ServeMux {
 		fmt.Fprintln(w, `{"ok":true}`)
 	})
 	mux.HandleFunc("GET /v1/stats", handleStats)
+	mux.Handle("GET /metrics", obs.Handler())
 	mux.HandleFunc("POST /v1/cluster", handleCluster)
 	mux.HandleFunc("POST /v1/transform", handleTransform)
 	mux.HandleFunc("POST /v1/tables/unify", handleUnify)

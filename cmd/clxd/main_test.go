@@ -8,11 +8,11 @@ import (
 	"testing"
 )
 
-func request(t *testing.T, mux *http.ServeMux, method, path, body string) (*httptest.ResponseRecorder, []byte) {
+func request(t *testing.T, h http.Handler, method, path, body string) (*httptest.ResponseRecorder, []byte) {
 	t.Helper()
 	req := httptest.NewRequest(method, path, strings.NewReader(body))
 	rec := httptest.NewRecorder()
-	mux.ServeHTTP(rec, req)
+	h.ServeHTTP(rec, req)
 	return rec, rec.Body.Bytes()
 }
 

@@ -1,0 +1,164 @@
+// Tests of the daemon observability layer: the /metrics exposition, the
+// streaming admission cap (429 + Retry-After), request-ID propagation,
+// and the structured access log.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"clx/internal/obs"
+	"clx/internal/progstore"
+)
+
+// TestMetricsEndpoint drives traffic through the daemon and checks that
+// GET /metrics serves the pipeline, cache, stream, and HTTP series in
+// Prometheus text format.
+func TestMetricsEndpoint(t *testing.T) {
+	mux := testMux(t)
+	// Exercise the pipeline and a stream so the series carry values.
+	request(t, mux, "POST", "/v1/transform",
+		`{"rows":["(734) 645-8397","734.236.3466"],"target":"<D>3'-'<D>3'-'<D>4"}`)
+	id := registerPhones(t, mux)
+	request(t, mux, "POST", "/v1/programs/"+id+"/apply/stream", "(313) 263-1192\n")
+
+	rec, raw := request(t, mux, "GET", "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := string(raw)
+	series := []string{
+		"clx_http_requests_total",
+		"clx_http_request_duration_seconds_bucket",
+		"clx_streams_in_flight",
+		"clx_streams_rejected_total",
+		"clx_streams_total",
+		"clx_stream_rows_total",
+		"clx_stream_chunks_total",
+		"clx_stream_flagged_total",
+		"clx_stream_chunk_duration_seconds_sum",
+		"clx_stage_duration_seconds_bucket{stage=\"profile\"",
+		"clx_stage_duration_seconds_bucket{stage=\"synthesize\"",
+		"clx_rematch_cache_hits_total",
+		"clx_rematch_cache_misses_total",
+		"clx_rematch_cache_evictions_total",
+		"clx_wal_appends_total",
+	}
+	for _, s := range series {
+		if !strings.Contains(body, s) {
+			t.Errorf("metrics output missing series %q", s)
+		}
+	}
+	// Traffic actually moved the HTTP counter.
+	if !strings.Contains(body, "# TYPE clx_http_requests_total counter") {
+		t.Errorf("missing TYPE line for clx_http_requests_total")
+	}
+}
+
+// TestStreamAdmissionCap holds one stream slot open and checks that the
+// next stream gets 429 with Retry-After and the uniform error envelope,
+// while non-stream endpoints stay unaffected.
+func TestStreamAdmissionCap(t *testing.T) {
+	old := maxStreams
+	maxStreams = 1
+	defer func() { maxStreams = old }()
+	mux := testMux(t)
+	id := registerPhones(t, mux)
+
+	// First stream: the body reader blocks until released, pinning the
+	// single admission slot.
+	bodyR, bodyW := io.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		req := httptest.NewRequest("POST", "/v1/programs/"+id+"/apply/stream", bodyR)
+		mux.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	if _, err := bodyW.Write([]byte("(313) 263-1192\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second stream while the first holds the slot: 429.
+	rec, raw := request(t, mux, "POST", "/v1/programs/"+id+"/apply/stream", "x\n")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", rec.Code, raw)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("429 without Retry-After header")
+	}
+	var env errorJSON
+	if err := json.Unmarshal(raw, &env); err != nil || !strings.Contains(env.Error, "concurrent streams") {
+		t.Fatalf("not the uniform envelope: %s", raw)
+	}
+
+	// Non-stream endpoints are not subject to the cap.
+	if rec, _ := request(t, mux, "GET", "/healthz", ""); rec.Code != http.StatusOK {
+		t.Fatalf("healthz under stream load: %d", rec.Code)
+	}
+
+	// Release the first stream; the slot frees and streaming works again.
+	bodyW.Close()
+	<-done
+	rec, raw = request(t, mux, "POST", "/v1/programs/"+id+"/apply/stream", "(313) 263-1192\n")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-release stream status %d: %s", rec.Code, raw)
+	}
+	if _, trailer := parseStream(t, string(raw)); !trailer.Done {
+		t.Fatalf("post-release trailer = %+v", trailer)
+	}
+}
+
+// TestRequestIDPropagation checks both directions: a minted ID is echoed
+// back, and a client-supplied X-Request-ID survives end to end.
+func TestRequestIDPropagation(t *testing.T) {
+	mux := testMux(t)
+	rec, _ := request(t, mux, "GET", "/healthz", "")
+	if rec.Header().Get("X-Request-ID") == "" {
+		t.Fatalf("no minted X-Request-ID on response")
+	}
+
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set("X-Request-ID", "proxy-abc-123")
+	rec2 := httptest.NewRecorder()
+	mux.ServeHTTP(rec2, req)
+	if got := rec2.Header().Get("X-Request-ID"); got != "proxy-abc-123" {
+		t.Fatalf("client request ID not propagated: %q", got)
+	}
+}
+
+// TestAccessLogJSON wires a buffer logger and checks one structured line
+// per request with the expected fields.
+func TestAccessLogJSON(t *testing.T) {
+	st, err := progstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(st)
+	var buf bytes.Buffer
+	srv.logger = obs.NewLogger(&buf, "json")
+	h := srv.handler()
+
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set("X-Request-ID", "trace-me")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("access log is not one JSON object: %q", buf.String())
+	}
+	if line["request_id"] != "trace-me" || line["path"] != "/healthz" ||
+		line["method"] != "GET" || line["status"] != float64(http.StatusOK) {
+		t.Fatalf("access log line = %v", line)
+	}
+	if _, ok := line["duration_ms"]; !ok {
+		t.Fatalf("access log line missing duration_ms: %v", line)
+	}
+}

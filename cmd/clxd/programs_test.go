@@ -17,25 +17,26 @@ import (
 	"clx/internal/synth"
 )
 
-// testMux builds a mux over an ephemeral registry.
-func testMux(t *testing.T) *http.ServeMux {
+// testMux builds the full daemon handler (middleware included) over an
+// ephemeral registry, so every endpoint test also exercises tracing.
+func testMux(t *testing.T) http.Handler {
 	t.Helper()
 	st, err := progstore.Open("")
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(st).mux()
+	return newServer(st).handler()
 }
 
-// openMux builds a mux over a persistent registry in dir; the returned
-// store lets tests simulate a daemon restart by closing it.
-func openMux(t *testing.T, dir string) (*http.ServeMux, *progstore.Store) {
+// openMux builds the daemon handler over a persistent registry in dir; the
+// returned store lets tests simulate a daemon restart by closing it.
+func openMux(t *testing.T, dir string) (http.Handler, *progstore.Store) {
 	t.Helper()
 	st, err := progstore.Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(st).mux(), st
+	return newServer(st).handler(), st
 }
 
 func TestProgramRegistryLifecycle(t *testing.T) {

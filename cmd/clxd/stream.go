@@ -60,6 +60,22 @@ func (s *server) handleProgramApplyStream(w http.ResponseWriter, r *http.Request
 			fmt.Errorf("request body %d bytes exceeds the %d-byte cap", r.ContentLength, maxBody))
 		return
 	}
+	// Admission control: each stream pins a chunk × MaxInFlight window of
+	// memory for its whole lifetime, so concurrent streams are capped. The
+	// acquire is non-blocking — turning a burst away immediately with 429
+	// beats queueing it against the server's write timeout.
+	select {
+	case s.streamSem <- struct{}{}:
+	default:
+		streamsRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("too many concurrent streams (limit %d); retry later", cap(s.streamSem)))
+		return
+	}
+	defer func() { <-s.streamSem }()
+	streamsInFlight.Add(1)
+	defer streamsInFlight.Add(-1)
 	q := r.URL.Query()
 	chunk, err := intParam(q, "chunk", stream.DefaultChunkSize)
 	if err != nil {

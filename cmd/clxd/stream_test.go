@@ -15,7 +15,7 @@ import (
 )
 
 // registerPhones registers the standard phone program and returns its id.
-func registerPhones(t *testing.T, mux *http.ServeMux) string {
+func registerPhones(t *testing.T, mux http.Handler) string {
 	t.Helper()
 	rec, raw := request(t, mux, "POST", "/v1/programs",
 		`{"rows":["(734) 645-8397","(734)586-7252","734.236.3466","734-422-8073"],`+
@@ -155,7 +155,7 @@ func TestStreamApplyMidStreamErrorFrame(t *testing.T) {
 	if len(rows) != 1 || rows[0] != "313-263-1192" {
 		t.Fatalf("rows before the error = %q", rows)
 	}
-	if trailer.Done || !strings.Contains(trailer.Error, "ndjson line 2") {
+	if trailer.Done || !strings.Contains(trailer.Error, "ndjson row 2") {
 		t.Fatalf("trailer = %+v", trailer)
 	}
 }

@@ -1,0 +1,104 @@
+// Structured request logging. One Logger per process, one line per event,
+// in either line-oriented JSON (machine ingestion) or a key=value text
+// form (humans at a terminal) — the clxd -log-format flag. Every line
+// carries the request ID from the context, which is what ties an access
+// log entry to the pprof labels of the goroutines that served it.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Logger writes structured log lines. The zero value and the nil pointer
+// are both valid no-op loggers, so call sites never guard.
+type Logger struct {
+	mu   sync.Mutex
+	w    io.Writer
+	json bool
+	// now is the clock; tests pin it for deterministic timestamps.
+	now func() time.Time
+}
+
+// NewLogger returns a Logger writing to w in the given format: "json" for
+// one JSON object per line, anything else (canonically "text") for
+// key=value lines.
+func NewLogger(w io.Writer, format string) *Logger {
+	return &Logger{w: w, json: format == "json", now: time.Now}
+}
+
+// Log writes one event: a message plus alternating key, value pairs. The
+// request ID in ctx, if any, is attached as request_id. A trailing odd key
+// is dropped rather than panicking — logging must never take a request
+// down.
+func (l *Logger) Log(ctx context.Context, msg string, kv ...any) {
+	if l == nil || l.w == nil {
+		return
+	}
+	ts := l.now().UTC().Format(time.RFC3339Nano)
+	rid := RequestIDFrom(ctx)
+	n := len(kv) - len(kv)%2
+
+	var line []byte
+	if l.json {
+		var b strings.Builder
+		b.WriteString(`{"ts":`)
+		b.Write(mustJSON(ts))
+		b.WriteString(`,"msg":`)
+		b.Write(mustJSON(msg))
+		if rid != "" {
+			b.WriteString(`,"request_id":`)
+			b.Write(mustJSON(rid))
+		}
+		for i := 0; i < n; i += 2 {
+			b.WriteByte(',')
+			b.Write(mustJSON(fmt.Sprint(kv[i])))
+			b.WriteByte(':')
+			b.Write(mustJSON(kv[i+1]))
+		}
+		b.WriteString("}\n")
+		line = []byte(b.String())
+	} else {
+		var b strings.Builder
+		b.WriteString(ts)
+		b.WriteByte(' ')
+		b.WriteString(msg)
+		if rid != "" {
+			fmt.Fprintf(&b, " request_id=%s", rid)
+		}
+		for i := 0; i < n; i += 2 {
+			fmt.Fprintf(&b, " %v=%s", kv[i], textValue(kv[i+1]))
+		}
+		b.WriteByte('\n')
+		line = []byte(b.String())
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = l.w.Write(line)
+}
+
+// mustJSON marshals v, falling back to its fmt rendering — a log line must
+// always be produced.
+func mustJSON(v any) []byte {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		raw, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return raw
+}
+
+// textValue renders one value for the text format, quoting strings that
+// contain spaces.
+func textValue(v any) string {
+	s := fmt.Sprint(v)
+	if strings.ContainsAny(s, " \t\n\"") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

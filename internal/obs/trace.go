@@ -1,0 +1,46 @@
+// Request tracing: a request ID minted once per clxd request and carried
+// through context to structured logs and pprof goroutine labels, so one
+// slow request can be followed from access log to CPU profile to the
+// worker goroutines it fanned out.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// procID distinguishes processes in aggregated logs: request IDs are
+// "procid-seq", unique per process lifetime and unlikely to collide across
+// restarts.
+var procID = func() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+var reqSeq atomic.Int64
+
+// NewRequestID mints a process-unique request ID ("3fa9c1d2-000017").
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06d", procID, reqSeq.Add(1))
+}
+
+// ctxKey is the private context key type for request IDs.
+type ctxKey struct{}
+
+// WithRequestID returns ctx carrying id.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "" when there is
+// none.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}

@@ -22,6 +22,22 @@ import (
 	"time"
 
 	clx "clx"
+	"clx/internal/obs"
+)
+
+// Registry durability metrics: every mutation is a fsynced WAL append and
+// every compaction rewrites the snapshot, so their latencies are the
+// daemon's write-path floor — the first place to look when registrations
+// slow down.
+var (
+	mWALAppends = obs.NewCounter("clx_wal_appends_total",
+		"Program-registry WAL records appended (each fsynced).")
+	mWALAppendDur = obs.NewHistogram("clx_wal_append_duration_seconds",
+		"Latency of one fsynced program-registry WAL append.", nil)
+	mCompactions = obs.NewCounter("clx_wal_compactions_total",
+		"Program-registry WAL compactions into snapshot.json.")
+	mCompactDur = obs.NewHistogram("clx_wal_compaction_duration_seconds",
+		"Latency of folding the registry WAL into its snapshot.", nil)
 )
 
 // Repair is one plan-repair choice recorded at synthesis time (§6.4):
@@ -331,9 +347,13 @@ func (s *Store) append(rec walRecord) error {
 	if s.dir == "" || s.wal == nil {
 		return nil
 	}
-	if err := s.wal.Append(rec); err != nil {
+	t0 := time.Now()
+	err := s.wal.Append(rec)
+	mWALAppendDur.Observe(time.Since(t0))
+	if err != nil {
 		return err
 	}
+	mWALAppends.Inc()
 	s.walRecords++
 	if s.walRecords >= s.compactEvery {
 		if err := s.compactLocked(); err != nil {
@@ -354,6 +374,10 @@ type snapshotDoc struct {
 // compactLocked folds the current state into snapshot.json (write-temp,
 // fsync, rename) and truncates the WAL. Callers hold the write lock.
 func (s *Store) compactLocked() error {
+	defer func(t0 time.Time) {
+		mCompactions.Inc()
+		mCompactDur.Observe(time.Since(t0))
+	}(time.Now())
 	doc := snapshotDoc{Seq: s.seq, Order: append([]string(nil), s.order...)}
 	for _, id := range s.order {
 		doc.Entries = append(doc.Entries, s.entries[id])

@@ -11,10 +11,12 @@
 package rematch
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"clx/internal/obs"
 	"clx/internal/token"
 )
 
@@ -29,32 +31,57 @@ var cacheLimit int64 = 8192
 // hits, misses (each miss compiles), and entries discarded by generation
 // swaps when the size cap is hit. Counters are process-lifetime monotonic;
 // ResetCache drops entries but leaves the counters (a reset is itself an
-// eviction event). A long-lived clxd exposes them at GET /v1/stats.
+// eviction event). The counters live in internal/obs — a long-lived clxd
+// exposes them both at GET /v1/stats and as clx_rematch_cache_* series at
+// GET /metrics.
+//
+// Conservation invariant (the PR-5 bugfix): once the cache is quiescent,
+// every entry ever inserted is either live in the current generation or
+// booked as an eviction — including inserts that land in a generation
+// *after* a concurrent overflow retired it, which previously vanished
+// unbooked and made hits+misses-evictions drift on a busy daemon.
 type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
 }
 
-var cacheStats struct {
-	hits, misses, evictions atomic.Int64
-}
+var (
+	cacheHits = obs.NewCounter("clx_rematch_cache_hits_total",
+		"Compiled-matcher cache lookups served from the memo.")
+	cacheMisses = obs.NewCounter("clx_rematch_cache_misses_total",
+		"Compiled-matcher cache lookups that compiled a new matcher.")
+	cacheEvictions = obs.NewCounter("clx_rematch_cache_evictions_total",
+		"Compiled matchers discarded by generation swaps (size cap or reset).")
+)
 
 // Stats returns the current cache counters.
 func Stats() CacheStats {
 	return CacheStats{
-		Hits:      cacheStats.hits.Load(),
-		Misses:    cacheStats.misses.Load(),
-		Evictions: cacheStats.evictions.Load(),
+		Hits:      cacheHits.Value(),
+		Misses:    cacheMisses.Value(),
+		Evictions: cacheEvictions.Value(),
 	}
 }
 
 // cacheMap is one generation of the memo; overflow swaps in a fresh
 // generation rather than deleting entries one by one.
+//
+// n counts inserted entries while the generation is live. Retirement
+// claims the count atomically: the swap winner Swap-poisons n to
+// retiredGen and books the returned value as evictions. An insert whose
+// Add lands after the poison sees a negative result — proof its entry was
+// not in the booked count — and books itself as one eviction, so every
+// entry is booked exactly once no matter how the race interleaves.
 type cacheMap struct {
 	m sync.Map // canonical pattern string -> *Compiled
 	n atomic.Int64
 }
+
+// retiredGen is the poison value marking a retired generation's counter.
+// Far enough below zero that any realistic number of late Add(1)s keeps
+// the counter negative.
+const retiredGen = math.MinInt64 / 2
 
 var cache atomic.Pointer[cacheMap]
 
@@ -73,19 +100,29 @@ func CompileCached(p []token.Token) *Compiled {
 	k := cacheKey(p)
 	cm := cache.Load()
 	if c, ok := cm.m.Load(k); ok {
-		cacheStats.hits.Add(1)
+		cacheHits.Inc()
 		return c.(*Compiled)
 	}
-	cacheStats.misses.Add(1)
+	cacheMisses.Inc()
 	own := make([]token.Token, len(p))
 	copy(own, p)
 	c, loaded := cm.m.LoadOrStore(k, Compile(own))
-	if !loaded && cm.n.Add(1) > cacheLimit {
-		// Retire this generation; concurrent readers of cm finish
-		// harmlessly against the old map. Only the winning swap books the
-		// retired entries as evictions.
-		if cache.CompareAndSwap(cm, new(cacheMap)) {
-			cacheStats.evictions.Add(cm.n.Load())
+	if !loaded {
+		switch n := cm.n.Add(1); {
+		case n < 0:
+			// cm was retired (and its count booked) between our Load above
+			// and this Add: the entry sits in a dead map, invisible to the
+			// retirement booking and to future lookups. Book it here so the
+			// eviction counter still conserves inserted entries.
+			cacheEvictions.Add(1)
+		case n > cacheLimit:
+			// Retire this generation; concurrent readers of cm finish
+			// harmlessly against the old map. Only the winning swap claims
+			// the insert count (Swap poisons it so later inserts book
+			// themselves) and books it as evictions.
+			if cache.CompareAndSwap(cm, new(cacheMap)) {
+				cacheEvictions.Add(cm.n.Swap(retiredGen))
+			}
 		}
 	}
 	return c.(*Compiled)
@@ -99,7 +136,7 @@ func CompileCached(p []token.Token) *Compiled {
 func ResetCache() {
 	cm := cache.Load()
 	if cache.CompareAndSwap(cm, new(cacheMap)) {
-		cacheStats.evictions.Add(cm.n.Load())
+		cacheEvictions.Add(cm.n.Swap(retiredGen))
 	}
 }
 

@@ -125,6 +125,55 @@ func TestCacheStatsCounters(t *testing.T) {
 	}
 }
 
+// TestCacheEvictionConservation is the PR-5 drift regression: hammer
+// CompileCached with unique patterns across many forced generation swaps
+// and assert the counters conserve entries exactly. Every unique pattern
+// is inserted once (misses == inserts); after the final reset retires the
+// last generation, every insert must be booked as an eviction — including
+// inserts that landed in a generation after a concurrent swap retired it,
+// which the old accounting (Load instead of Swap at retirement, no
+// late-insert booking) silently dropped. Run under -race this also pins
+// the retirement protocol itself.
+func TestCacheEvictionConservation(t *testing.T) {
+	old := cacheLimit
+	cacheLimit = 32 // force frequent generation swaps
+	defer func() { cacheLimit = old; ResetCache() }()
+	ResetCache()
+
+	s0 := Stats()
+	const goroutines, perG = 8, 800
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				v := fmt.Sprintf("c%d-%d", g, i)
+				if !CompileCached([]token.Token{token.Lit(v)}).Matches(v) {
+					t.Error("cached match failed during swap churn")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Retire the final generation so nothing is left live; conservation is
+	// then exact: evictions must equal inserts.
+	ResetCache()
+
+	s1 := Stats()
+	if got := s1.Hits - s0.Hits; got != 0 {
+		t.Errorf("unique patterns produced %d hits, want 0", got)
+	}
+	inserts := s1.Misses - s0.Misses
+	if inserts != goroutines*perG {
+		t.Fatalf("misses = %d, want %d (unique patterns miss exactly once)", inserts, goroutines*perG)
+	}
+	if evicted := s1.Evictions - s0.Evictions; evicted != inserts {
+		t.Errorf("eviction drift: %d inserts but %d evictions booked", inserts, evicted)
+	}
+}
+
 func TestCompileCachedEmptyPattern(t *testing.T) {
 	c := CompileCached(nil)
 	if !c.Matches("") || c.Matches("x") {

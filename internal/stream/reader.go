@@ -141,8 +141,8 @@ func (lr *lineReader) Next(max int) ([]string, error) {
 // (trailing newlines, CRLF artifacts); any other JSON value is an error —
 // the column is a string column.
 type ndjsonReader struct {
-	sc   *lineScanner
-	line int
+	sc  *lineScanner
+	row int // 1-based data rows: blank separator lines do not count
 }
 
 // NewNDJSONReader returns a Reader over NDJSON input: one JSON string per
@@ -167,13 +167,13 @@ func (nr *ndjsonReader) Next(max int) ([]string, error) {
 		if !ok {
 			return out, io.EOF
 		}
-		nr.line++
 		if len(line) == 0 {
 			continue // blank line between records
 		}
+		nr.row++
 		var v string
 		if err := json.Unmarshal(line, &v); err != nil {
-			return out, fmt.Errorf("stream: ndjson line %d: %w", nr.line, err)
+			return out, fmt.Errorf("stream: ndjson row %d: %w", nr.row, err)
 		}
 		out = append(out, v)
 	}
@@ -188,7 +188,7 @@ type csvReader struct {
 	col    int
 	header bool // skip the first record
 	first  bool
-	row    int
+	row    int // 1-based data rows: a skipped header record does not count
 }
 
 // NewCSVReader returns a Reader over the col'th field (0-based) of CSV
@@ -213,12 +213,12 @@ func (cr *csvReader) Next(max int) ([]string, error) {
 		if err != nil {
 			return out, err
 		}
-		cr.row++
 		if cr.first && cr.header {
 			cr.first = false
 			continue
 		}
 		cr.first = false
+		cr.row++
 		if cr.col < 0 || cr.col >= len(rec) {
 			return out, fmt.Errorf("stream: csv row %d has %d columns, want index %d",
 				cr.row, len(rec), cr.col)

@@ -119,6 +119,37 @@ func TestCSVReaderErrors(t *testing.T) {
 	}
 }
 
+// Row numbers in error messages are 1-based data rows for both framings: a
+// skipped CSV header does not count, and neither do blank NDJSON separator
+// lines, so "row N" always names the N'th value of the column.
+func TestReaderErrorRowNumbering(t *testing.T) {
+	// CSV with header: the first data row (physical record 2) is "row 1".
+	r := NewCSVReader(strings.NewReader("name,phone\nonly-one-field\n"), 1, true)
+	_, err := r.Next(8)
+	if err == nil || !strings.Contains(err.Error(), "row 1") {
+		t.Errorf("csv header-skip error = %v, want row 1", err)
+	}
+	// CSV without header: same input, but now the short record is data row 2.
+	r = NewCSVReader(strings.NewReader("name,phone\nonly-one-field\n"), 1, false)
+	var last error
+	for last == nil {
+		_, last = r.Next(8)
+	}
+	if !strings.Contains(last.Error(), "row 2") {
+		t.Errorf("csv no-header error = %v, want row 2", last)
+	}
+	// NDJSON: blank separator lines (physical lines 1, 3) do not count;
+	// the malformed physical line 4 is data row 2.
+	r = NewNDJSONReader(strings.NewReader("\n\"ok\"\n\nnot json\n"))
+	last = nil
+	for last == nil {
+		_, last = r.Next(8)
+	}
+	if !strings.Contains(last.Error(), "ndjson row 2") {
+		t.Errorf("ndjson error = %v, want ndjson row 2", last)
+	}
+}
+
 func TestSliceReaderBatches(t *testing.T) {
 	rows := []string{"a", "b", "c", "d", "e"}
 	r := NewSliceReader(rows)

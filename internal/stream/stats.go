@@ -1,9 +1,11 @@
-// Process-wide streaming counters, the GET /v1/stats surface: every Run
-// folds its per-stream stats in here, so a deployment can watch bulk-apply
-// throughput and failure counts without scraping per-request logs.
+// Process-wide streaming counters, backed by internal/obs so one set of
+// numbers serves both surfaces: every Run folds its per-stream stats in
+// here, GET /v1/stats reports them as the JSON Counters document, and
+// GET /metrics exposes the same series (clx_stream_*) in Prometheus text
+// format — no dual bookkeeping to drift.
 package stream
 
-import "sync/atomic"
+import "clx/internal/obs"
 
 // Counters is a snapshot of the process-wide streaming totals.
 type Counters struct {
@@ -19,45 +21,54 @@ type Counters struct {
 	PeakInFlight int64 `json:"peak_in_flight"`
 }
 
-var global struct {
-	streams, errors, rows, chunks, flagged, peak atomic.Int64
-}
+var (
+	mStreams = obs.NewCounter("clx_streams_total",
+		"Completed streaming bulk-apply runs (errored runs included).")
+	mStreamErrors = obs.NewCounter("clx_stream_errors_total",
+		"Streaming runs that ended with a reader or writer error.")
+	mStreamRows = obs.NewCounter("clx_stream_rows_total",
+		"Rows emitted by streaming bulk-apply runs.")
+	mStreamChunks = obs.NewCounter("clx_stream_chunks_total",
+		"Chunks emitted by streaming bulk-apply runs.")
+	mStreamFlagged = obs.NewCounter("clx_stream_flagged_total",
+		"Streamed rows left unchanged because no recorded pattern covers them.")
+	mStreamPeak = obs.NewGauge("clx_stream_peak_in_flight",
+		"High-water mark of admitted-but-unemitted chunks across all runs.")
+	mChunkDur = obs.NewHistogram("clx_stream_chunk_duration_seconds",
+		"Per-chunk transform latency inside the streaming engine.", nil)
+)
 
 // record folds one run into the process counters.
 func record(st Stats, err error) {
-	global.streams.Add(1)
+	mStreams.Inc()
 	if err != nil {
-		global.errors.Add(1)
+		mStreamErrors.Inc()
 	}
-	global.rows.Add(st.Rows)
-	global.chunks.Add(st.Chunks)
-	global.flagged.Add(st.Flagged)
-	for {
-		p := global.peak.Load()
-		if int64(st.PeakInFlight) <= p || global.peak.CompareAndSwap(p, int64(st.PeakInFlight)) {
-			break
-		}
-	}
+	mStreamRows.Add(st.Rows)
+	mStreamChunks.Add(st.Chunks)
+	mStreamFlagged.Add(st.Flagged)
+	mStreamPeak.Max(int64(st.PeakInFlight))
 }
 
 // GlobalStats returns a snapshot of the process-wide streaming counters.
 func GlobalStats() Counters {
 	return Counters{
-		Streams:      global.streams.Load(),
-		Errors:       global.errors.Load(),
-		Rows:         global.rows.Load(),
-		Chunks:       global.chunks.Load(),
-		Flagged:      global.flagged.Load(),
-		PeakInFlight: global.peak.Load(),
+		Streams:      mStreams.Value(),
+		Errors:       mStreamErrors.Value(),
+		Rows:         mStreamRows.Value(),
+		Chunks:       mStreamChunks.Value(),
+		Flagged:      mStreamFlagged.Value(),
+		PeakInFlight: mStreamPeak.Value(),
 	}
 }
 
 // ResetGlobalStats zeroes the process counters (tests and benchmarks).
 func ResetGlobalStats() {
-	global.streams.Store(0)
-	global.errors.Store(0)
-	global.rows.Store(0)
-	global.chunks.Store(0)
-	global.flagged.Store(0)
-	global.peak.Store(0)
+	mStreams.Reset()
+	mStreamErrors.Reset()
+	mStreamRows.Reset()
+	mStreamChunks.Reset()
+	mStreamFlagged.Reset()
+	mStreamPeak.Reset()
+	mChunkDur.Reset()
 }

@@ -131,6 +131,7 @@ func Run(prog Applier, r Reader, enc Encoder, w io.Writer, opts Options) (Stats,
 	}
 
 	apply := func(rows []string) chunkOut {
+		defer func(t0 time.Time) { mChunkDur.Observe(time.Since(t0)) }(time.Now())
 		out := chunkOut{rows: len(rows), payload: make([]byte, 0, 16*len(rows))}
 		if fastPath {
 			var val []byte

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"clx/internal/parallel"
 	"clx/internal/pattern"
@@ -142,6 +143,7 @@ func (sp *SavedProgram) AppendApply(dst []byte, s string) ([]byte, bool) {
 // sp.Workers goroutines; output order and flagged order are identical to a
 // serial scan for every worker count.
 func (sp *SavedProgram) Transform(rows []string) (out []string, flagged []int) {
+	defer func(t0 time.Time) { obsApplyDur.Observe(time.Since(t0)) }(time.Now())
 	out = make([]string, len(rows))
 	flagged = parallel.Gather(sp.Workers, len(rows), func(lo, hi int, emit func(int)) {
 		for i := lo; i < hi; i++ {
