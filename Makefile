@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: test race gate cover fuzz-smoke bench bench-profile pipeline profile bench-store bench-stream bench-obs obs-smoke
+.PHONY: test race gate cover fuzz-smoke apply-parity bench bench-profile pipeline profile bench-store bench-stream bench-obs obs-smoke bench-apply
 
 # Tier-1: vet + build + unit tests (ROADMAP.md contract).
 test:
@@ -19,9 +19,16 @@ race:
 	$(GO) vet ./... && $(GO) test -race ./...
 
 # Full gate: tier-1, race tier, per-package coverage floors, a
-# 10s-per-target fuzz smoke over the seed corpora, and the
-# metrics-overhead smoke test.
-gate: test race cover fuzz-smoke obs-smoke
+# 10s-per-target fuzz smoke over the seed corpora, the automaton-vs-
+# reference apply-parity smoke, and the metrics-overhead smoke test.
+gate: test race cover fuzz-smoke apply-parity obs-smoke
+
+# Apply-parity smoke: the byte-automaton engine must produce byte-identical
+# output (rows, flagged indices, errors) to the retained backtracking
+# engine over the 47-task benchmark suite, across chunk sizes and worker
+# counts, under the race detector.
+apply-parity:
+	$(GO) test -race -run 'TestAutomatonDifferentialBenchSuite' .
 
 # Coverage floors: every package listed in scripts/cover_floors.txt must
 # stay at or above its floor.
@@ -67,6 +74,12 @@ bench-stream:
 # metrics-frozen pipeline and streaming apply on the 20k-row corpus).
 bench-obs:
 	$(GO) run ./cmd/clxbench -exp obs
+
+# Regenerate BENCH_apply.json (byte-automaton vs backtracking reference
+# apply engine: streamed rows/sec and allocs/row at 10k/100k/1M rows,
+# workers 1/4/8, median of 5).
+bench-apply:
+	$(GO) run ./cmd/clxbench -exp apply
 
 # Metrics-overhead smoke: the instrumented pipeline must stay within 5% of
 # the metrics-frozen baseline (clxbench exits non-zero past the budget).

@@ -1,0 +1,121 @@
+// Differential layer for the fused byte-automaton apply engine: over the
+// whole 47-task benchmark suite, a loaded program applied through the
+// automaton must be indistinguishable from the same program applied
+// through the retained backtracking engine — same output bytes, same
+// flagged-row sets — in the in-memory Transform path and in the streaming
+// path for chunk sizes spanning one-row chunks through chunks larger than
+// any task column, and worker counts spanning serial through
+// oversubscribed. DisableAutomaton is the switch that turns one loaded
+// program into the reference arm.
+package clx_test
+
+import (
+	"bytes"
+	"testing"
+
+	clx "clx"
+	"clx/internal/benchsuite"
+	"clx/internal/simuser"
+	"clx/internal/stream"
+)
+
+// exportTaskProgram synthesizes and exports a program for the task's first
+// labelable selected target, mirroring the stream differential test.
+func exportTaskProgram(t *testing.T, inputs, outputs []string) []byte {
+	t.Helper()
+	for _, target := range simuser.SelectTargets(inputs, outputs) {
+		tr, err := clx.NewSession(inputs).Label(target)
+		if err != nil {
+			continue
+		}
+		raw, err := tr.Export()
+		if err != nil {
+			continue
+		}
+		return raw
+	}
+	return nil
+}
+
+func TestAutomatonDifferentialBenchSuite(t *testing.T) {
+	tasks := benchsuite.Tasks()
+	if len(tasks) < 47 {
+		t.Fatalf("benchmark suite has %d tasks, want >= 47", len(tasks))
+	}
+	programs, automata := 0, 0
+	for _, task := range tasks {
+		task := task
+		t.Run(task.Name, func(t *testing.T) {
+			raw := exportTaskProgram(t, task.Inputs, task.Outputs)
+			if raw == nil {
+				t.Skip("no selected target labels this task")
+			}
+			programs++
+			auto, err := clx.LoadProgram(raw)
+			if err != nil {
+				t.Fatalf("exported program does not load: %v", err)
+			}
+			ref, err := clx.LoadProgram(raw)
+			if err != nil {
+				t.Fatalf("exported program does not load: %v", err)
+			}
+			ref.DisableAutomaton()
+			if !auto.HasAutomaton() {
+				// A fallback program runs the reference engine on both arms;
+				// nothing to differentiate, but track coverage below.
+				t.Skip("program not lowerable to an automaton")
+			}
+			automata++
+
+			wantOut, wantFlagged := ref.Transform(task.Inputs)
+			gotOut, gotFlagged := auto.Transform(task.Inputs)
+			for i := range wantOut {
+				if wantOut[i] != gotOut[i] {
+					t.Fatalf("row %d (%q): reference %q, automaton %q",
+						i, task.Inputs[i], wantOut[i], gotOut[i])
+				}
+			}
+			if !equalIndices(wantFlagged, gotFlagged) {
+				t.Fatalf("flagged rows: reference %v, automaton %v", wantFlagged, gotFlagged)
+			}
+
+			var want bytes.Buffer
+			for _, v := range wantOut {
+				want.WriteString(v)
+				want.WriteByte('\n')
+			}
+			for _, chunk := range []int{1, 7, 1024} {
+				for _, workers := range []int{1, 4, 8} {
+					var got bytes.Buffer
+					var flagged []int
+					st, err := stream.Run(auto, stream.NewSliceReader(task.Inputs),
+						stream.LineEncoder{}, &got, stream.Options{
+							ChunkSize: chunk, Workers: workers,
+							OnFlagged: func(row int) { flagged = append(flagged, row) }})
+					if err != nil {
+						t.Fatalf("chunk=%d workers=%d: %v", chunk, workers, err)
+					}
+					if got.String() != want.String() {
+						t.Fatalf("chunk=%d workers=%d: automaton stream diverges from reference:\n%s",
+							chunk, workers, firstDiff(want.String(), got.String()))
+					}
+					if !equalIndices(flagged, wantFlagged) {
+						t.Fatalf("chunk=%d workers=%d: flagged %v, want %v",
+							chunk, workers, flagged, wantFlagged)
+					}
+					if st.Window < 1 {
+						t.Fatalf("chunk=%d workers=%d: stats window %d, want >= 1", chunk, workers, st.Window)
+					}
+				}
+			}
+		})
+	}
+	if programs < 40 {
+		t.Fatalf("only %d/%d tasks produced a program; the differential layer lost coverage",
+			programs, len(tasks))
+	}
+	if automata < programs {
+		t.Fatalf("only %d/%d programs compiled to automata; suite programs should all lower",
+			automata, programs)
+	}
+}

@@ -1,0 +1,185 @@
+// The apply experiment: the fused byte-automaton apply engine measured
+// against the retained backtracking reference engine on the same loaded
+// program — streamed rows/sec and allocations per row at 10k/100k/1M rows
+// per worker count, median of 5 runs, persisted as BENCH_apply.json. The
+// two arms are one program loaded twice, with DisableAutomaton switching
+// the second onto the reference engine, so the gap is exactly the
+// automaton: one tagged scan + arena rendering versus per-case
+// backtracking dispatch. The headline comparison is the automaton arm
+// against the committed BENCH_stream.json baseline (the pre-automaton
+// streaming engine), where the 1M-row point must hold >= 3x.
+//
+//	clxbench -exp apply [-apply-out f] [-apply-max-rows n]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	clx "clx"
+	"clx/internal/dataset"
+	"clx/internal/pattern"
+	"clx/internal/stream"
+)
+
+var (
+	applyOutFlag = flag.String("apply-out", "BENCH_apply.json",
+		"apply experiment: output JSON path ('' disables the file)")
+	applyMaxRows = flag.Int("apply-max-rows", 1_000_000,
+		"apply experiment: skip size points above this row count")
+)
+
+// applyReport is the persisted BENCH_apply.json document.
+type applyReport struct {
+	GeneratedUnix int64  `json:"generated_unix"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	ChunkSize     int    `json:"chunk_size"`
+	Target        string `json:"target"`
+	// Reps is the run count per point; times and allocs are medians.
+	Reps  int              `json:"reps"`
+	Sizes []applySizePoint `json:"sizes"`
+}
+
+// applySizePoint holds one column size: the streaming engine over the
+// automaton and over the backtracking reference, per worker count.
+type applySizePoint struct {
+	Rows      int                `json:"rows"`
+	Automaton []applyMeasurement `json:"automaton"`
+	Reference []applyMeasurement `json:"reference"`
+}
+
+type applyMeasurement struct {
+	Workers      int     `json:"workers"`
+	MS           float64 `json:"ms"`
+	RowsPerSec   float64 `json:"rows_per_sec"`
+	AllocsPerRow float64 `json:"allocs_per_row"`
+	Window       int     `json:"window"`
+	PeakInFlight int     `json:"peak_in_flight"`
+}
+
+// measureMedian times fn over reps runs and returns the median duration
+// and median allocation count — the issue's median-of-5 protocol, less
+// noise-prone than best-of on a machine running other work.
+func measureMedian(reps int, fn func()) (time.Duration, uint64) {
+	durs := make([]time.Duration, 0, reps)
+	allocs := make([]uint64, 0, reps)
+	var m0, m1 runtime.MemStats
+	for r := 0; r < reps; r++ {
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		fn()
+		d := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		durs = append(durs, d)
+		allocs = append(allocs, m1.Mallocs-m0.Mallocs)
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	sort.Slice(allocs, func(i, j int) bool { return allocs[i] < allocs[j] })
+	return durs[len(durs)/2], allocs[len(allocs)/2]
+}
+
+func applyExperiment() {
+	target := pattern.MustParse("<D>3'-'<D>3'-'<D>4")
+	seedRows, _ := dataset.Phones(2000, 6, 77)
+	sess := clx.NewSession(seedRows)
+	tr, err := sess.Label(target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench:", err)
+		return
+	}
+	raw, err := tr.Export()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench:", err)
+		return
+	}
+	auto, err := clx.LoadProgram(raw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench:", err)
+		return
+	}
+	if !auto.HasAutomaton() {
+		fmt.Fprintln(os.Stderr, "clxbench: phones program did not lower to an automaton")
+		return
+	}
+	ref, err := clx.LoadProgram(raw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench:", err)
+		return
+	}
+	ref.DisableAutomaton()
+
+	const reps = 5
+	report := applyReport{
+		GeneratedUnix: time.Now().Unix(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		ChunkSize:     stream.DefaultChunkSize,
+		Target:        target.String(),
+		Reps:          reps,
+	}
+	fmt.Printf("== Automaton vs reference apply engine (streamed, chunk=%d, median of %d) ==\n",
+		stream.DefaultChunkSize, reps)
+	fmt.Printf("%9s %8s %12s %12s %10s %12s %12s %7s\n",
+		"rows", "workers", "automaton", "reference", "speedup", "auto all/r", "ref all/r", "window")
+
+	run := func(sp *clx.SavedProgram, rows []string, w int) (applyMeasurement, time.Duration) {
+		var st stream.Stats
+		d, allocs := measureMedian(reps, func() {
+			var err error
+			st, err = stream.Run(sp, stream.NewSliceReader(rows), stream.LineEncoder{},
+				io.Discard, stream.Options{Workers: w})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "clxbench:", err)
+			}
+		})
+		return applyMeasurement{
+			Workers:      w,
+			MS:           ms(d),
+			RowsPerSec:   float64(len(rows)) / d.Seconds(),
+			AllocsPerRow: float64(allocs) / float64(len(rows)),
+			Window:       st.Window,
+			PeakInFlight: st.PeakInFlight,
+		}, d
+	}
+
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		if n > *applyMaxRows {
+			continue
+		}
+		rows, _ := dataset.Phones(n, 6, 77)
+		point := applySizePoint{Rows: n}
+		for _, w := range []int{1, 4, 8} {
+			am, da := run(auto, rows, w)
+			rm, dr := run(ref, rows, w)
+			point.Automaton = append(point.Automaton, am)
+			point.Reference = append(point.Reference, rm)
+			fmt.Printf("%9d %8d %9.0f/s %9.0f/s %9.2fx %12.2f %12.2f %7d\n",
+				n, w, am.RowsPerSec, rm.RowsPerSec, dr.Seconds()/da.Seconds(),
+				am.AllocsPerRow, rm.AllocsPerRow, am.Window)
+		}
+		report.Sizes = append(report.Sizes, point)
+	}
+
+	if *applyOutFlag == "" {
+		return
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false) // keep "<D>3" readable
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench: encode apply report:", err)
+		return
+	}
+	if err := os.WriteFile(*applyOutFlag, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "clxbench: write apply report:", err)
+		return
+	}
+	fmt.Printf("wrote %s\n", *applyOutFlag)
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// measureMedian returns the median, not the best: with an odd spread of
+// run times the middle element comes back, and allocation medians are
+// taken independently of the duration order.
+func TestMeasureMedian(t *testing.T) {
+	delays := []time.Duration{
+		5 * time.Millisecond,
+		1 * time.Millisecond,
+		3 * time.Millisecond,
+		2 * time.Millisecond,
+		4 * time.Millisecond,
+	}
+	i := 0
+	d, _ := measureMedian(len(delays), func() {
+		time.Sleep(delays[i])
+		i++
+	})
+	if d < 2*time.Millisecond || d >= 5*time.Millisecond {
+		t.Errorf("median duration %v outside the expected middle band", d)
+	}
+}
+
+// The apply experiment runs end to end at a small size and produces both
+// arms per worker count. The file write is disabled; this only checks the
+// measurement loop and the automaton/reference arm wiring.
+func TestApplyExperimentSmall(t *testing.T) {
+	*applyOutFlag = ""
+	*applyMaxRows = 10_000
+	applyExperiment()
+}

@@ -70,6 +70,7 @@ func experimentsMap() map[string]func() {
 		"profile":      profileExperiment,
 		"store":        storeExperiment,
 		"stream":       streamExperiment,
+		"apply":        applyExperiment,
 		"obs":          obsExperiment,
 		"panel":        panel,
 		"markdown":     markdown,

@@ -54,6 +54,9 @@ type streamMeasurement struct {
 	RowsPerSec   float64 `json:"rows_per_sec"`
 	AllocsPerRow float64 `json:"allocs_per_row"`
 	PeakInFlight int     `json:"peak_in_flight,omitempty"`
+	// Window is the resolved in-flight admission bound of the streaming
+	// run (parallel.Window), zero for the in-memory arm.
+	Window int `json:"window,omitempty"`
 }
 
 // measure times fn over reps runs, keeping the best time and the lowest
@@ -134,6 +137,7 @@ func streamExperiment() {
 				RowsPerSec:   float64(n) / d.Seconds(),
 				AllocsPerRow: float64(allocs) / float64(n),
 				PeakInFlight: st.PeakInFlight,
+				Window:       st.Window,
 			}
 			point.Stream = append(point.Stream, sm)
 

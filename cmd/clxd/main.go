@@ -81,6 +81,7 @@ import (
 	"time"
 
 	clx "clx"
+	"clx/internal/automaton"
 	"clx/internal/obs"
 	"clx/internal/progstore"
 	"clx/internal/rematch"
@@ -211,17 +212,21 @@ func (s *server) mux() *http.ServeMux {
 // statsResponse is the GET /v1/stats document: process-level counters a
 // deployment scrapes to watch the daemon — the compiled-matcher cache
 // (hit/miss/evict), the knob bounding memory growth on servers that see
-// many distinct programs, and the streaming bulk-apply totals (streams,
-// rows, chunks, flagged, errors, peak in-flight window).
+// many distinct programs, the streaming bulk-apply totals (streams, rows,
+// chunks, flagged, errors, peak in-flight window), and the automaton
+// compilation totals: a nonzero fallback count means some loaded programs
+// apply through the backtracking engine instead of the fused automaton.
 type statsResponse struct {
 	MatcherCache rematch.CacheStats `json:"matcher_cache"`
 	Streaming    stream.Counters    `json:"streaming"`
+	Automaton    automaton.Counters `json:"automaton"`
 }
 
 func handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
 		MatcherCache: rematch.Stats(),
 		Streaming:    stream.GlobalStats(),
+		Automaton:    automaton.GlobalStats(),
 	})
 }
 

@@ -1,0 +1,314 @@
+// Package automaton compiles a guarded UniFi program — every case at once —
+// into a single byte-level tagged automaton: one anchored left-to-right scan
+// over a table-driven DFA yields the winning case under first-case priority,
+// span recovery runs only for cases whose guard or plan needs token
+// boundaries, TokenIs guards fold into case selection, and replace plans
+// render as flat op programs straight into the caller's buffer. The
+// backtracking engine in internal/rematch + internal/unifi stays as the
+// executable reference; the differential and fuzz layers pin this package to
+// it byte for byte.
+package automaton
+
+import (
+	"math/bits"
+	"sync"
+
+	"clx/internal/rematch"
+	"clx/internal/unifi"
+)
+
+// Machine is a compiled guarded program. It is immutable after Compile and
+// safe for concurrent use; per-call scratch lives in an Arena (streaming) or
+// an internal pool (Apply).
+type Machine struct {
+	// alpha maps each byte to its alphabet equivalence class; trans is the
+	// flat DFA transition table indexed state*numClasses + class, with
+	// entries premultiplied by numClasses so the scan loop is one add and
+	// one load per byte (no multiply). State 0 is dead (premultiplied 0
+	// indexes its all-zero row), state 1 the start. accept[state] is the
+	// bitmask of cases whose pattern matches when input ends in that state
+	// (bit i = case i, lowest bit wins).
+	alpha      [256]uint8
+	numClasses int
+	trans      []uint32
+	accept     []uint64
+	states     int
+	cases      []caseProg
+	maxToks    int
+}
+
+// States reports the DFA state count (including dead and start).
+func (m *Machine) States() int { return m.states }
+
+// AlphabetSize reports the number of byte equivalence classes.
+func (m *Machine) AlphabetSize() int { return m.numClasses }
+
+// Cases reports the compiled case count (including a fused identity case).
+func (m *Machine) Cases() int { return len(m.cases) }
+
+// scratch is the per-call working memory: feasibility bitsets for greedy
+// span recovery, the recovered spans, and a render buffer for Apply.
+type scratch struct {
+	feas  []uint64
+	spans []rematch.Span
+	out   []byte
+}
+
+// Arena carries reusable scratch across many AppendApply calls so a
+// steady-state streaming chunk performs zero per-row allocation. An Arena
+// must not be used concurrently; acquire one per worker or per chunk.
+type Arena struct {
+	sc scratch
+}
+
+// NewArena returns an empty arena; buffers grow on first use and are
+// retained across calls.
+func (m *Machine) NewArena() *Arena { return &Arena{} }
+
+var arenaPool = sync.Pool{New: func() any { return &Arena{} }}
+
+// run executes the dispatch scan and returns the acceptance mask: bit i set
+// iff case i's source pattern matches all of s.
+func (m *Machine) run(s string) uint64 {
+	nc := m.numClasses
+	st := uint32(nc) // premultiplied start state (state 1)
+	trans := m.trans
+	for i := 0; i < len(s); i++ {
+		st = trans[st+uint32(m.alpha[s[i]])]
+		if st == 0 {
+			return 0
+		}
+	}
+	return m.accept[int(st)/nc]
+}
+
+// selectCase scans s and picks the first (lowest-index) matching case whose
+// guard holds, recovering token spans only when the case needs them. The
+// returned spans alias sc and are valid until its next use.
+func (m *Machine) selectCase(s string, sc *scratch) (int, []rematch.Span, bool) {
+	mask := m.run(s)
+	for mask != 0 {
+		ci := bits.TrailingZeros64(mask)
+		mask &^= 1 << uint(ci)
+		c := &m.cases[ci]
+		if c.fixedOffsets != nil {
+			// Fixed-shape case: the guard reads compile-time offsets and
+			// render ops carry their own; no span materialization at all.
+			if c.guardTok > 0 {
+				gs, ge := c.fixedOffsets[c.guardTok-1], c.fixedOffsets[c.guardTok]
+				if s[gs:ge] != c.guardVal {
+					continue
+				}
+			}
+			return ci, nil, true
+		}
+		if !c.needSpans {
+			return ci, nil, true
+		}
+		spans, ok := m.spansFor(c, s, sc)
+		if !ok {
+			continue
+		}
+		if c.guardTok > 0 {
+			sp := spans[c.guardTok-1]
+			if s[sp.Start:sp.End] != c.guardVal {
+				continue
+			}
+		}
+		return ci, spans, true
+	}
+	return 0, nil, false
+}
+
+// spansFor recovers the token spans the backtracking engine would produce
+// for case c on s (which c's pattern is known to match). Fully-fixed
+// patterns read precomputed offsets; patterns with '+' tokens run a
+// backward feasibility pass then a forward greedy pass, which reproduces
+// the backtracker's longest-extent-first search exactly: a '+' token takes
+// the largest extent after which the remaining tokens can still match.
+func (m *Machine) spansFor(c *caseProg, s string, sc *scratch) ([]rematch.Span, bool) {
+	n := len(c.toks)
+	if cap(sc.spans) < n {
+		sc.spans = make([]rematch.Span, n)
+	}
+	spans := sc.spans[:n]
+	if c.fixedOffsets != nil {
+		off := c.fixedOffsets
+		for i := 0; i < n; i++ {
+			spans[i] = rematch.Span{Start: off[i], End: off[i+1]}
+		}
+		return spans, true
+	}
+
+	// Backward pass: feas row i, bit j ⇔ tokens i..n-1 match s[j:] exactly.
+	words := len(s)>>6 + 1 // positions 0..len(s)
+	need := (n + 1) * words
+	if cap(sc.feas) < need {
+		sc.feas = make([]uint64, need)
+	}
+	feas := sc.feas[:need]
+	clear(feas)
+	bset(feas[n*words:], len(s))
+	for i := n - 1; i >= 0; i-- {
+		t := &c.toks[i]
+		cur := feas[i*words : (i+1)*words]
+		nxt := feas[(i+1)*words : (i+2)*words]
+		switch t.kind {
+		case tFixedLit:
+			L := t.length
+			for j := len(s) - L; j >= 0; j-- {
+				if bget(nxt, j+L) && s[j:j+L] == t.lit {
+					bset(cur, j)
+				}
+			}
+		case tFixedClass:
+			run := 0
+			for j := len(s) - 1; j >= 0; j-- {
+				if t.class.Contains(rune(s[j])) {
+					run++
+				} else {
+					run = 0
+				}
+				if run >= t.length && bget(nxt, j+t.length) {
+					bset(cur, j)
+				}
+			}
+		case tPlusClass:
+			for j := len(s) - 1; j >= 0; j-- {
+				if t.class.Contains(rune(s[j])) && (bget(nxt, j+1) || bget(cur, j+1)) {
+					bset(cur, j)
+				}
+			}
+		case tPlusLit:
+			u := t.length
+			for j := len(s) - u; j >= 0; j-- {
+				if s[j:j+u] == t.lit && (bget(nxt, j+u) || bget(cur, j+u)) {
+					bset(cur, j)
+				}
+			}
+		}
+	}
+
+	// Forward greedy pass: fixed tokens have no choice; each '+' token takes
+	// the largest extent e with the remainder still feasible (row i+1 at e).
+	pos := 0
+	for i := 0; i < n; i++ {
+		t := &c.toks[i]
+		switch t.kind {
+		case tFixedLit, tFixedClass:
+			spans[i] = rematch.Span{Start: pos, End: pos + t.length}
+			pos += t.length
+		case tPlusClass:
+			nxt := feas[(i+1)*words : (i+2)*words]
+			e, best := pos, -1
+			for e < len(s) && t.class.Contains(rune(s[e])) {
+				e++
+				if bget(nxt, e) {
+					best = e
+				}
+			}
+			if best < 0 {
+				return nil, false
+			}
+			spans[i] = rematch.Span{Start: pos, End: best}
+			pos = best
+		case tPlusLit:
+			u := t.length
+			nxt := feas[(i+1)*words : (i+2)*words]
+			e, best := pos, -1
+			for e+u <= len(s) && s[e:e+u] == t.lit {
+				e += u
+				if bget(nxt, e) {
+					best = e
+				}
+			}
+			if best < 0 {
+				return nil, false
+			}
+			spans[i] = rematch.Span{Start: pos, End: best}
+			pos = best
+		}
+	}
+	return spans, true
+}
+
+// renderInto appends case c's plan output for s to dst. A plan that the
+// reference engine would reject mid-render appends the same partial prefix
+// and returns the same error.
+func renderInto(dst []byte, c *caseProg, s string, spans []rematch.Span) ([]byte, error) {
+	for _, op := range c.render {
+		switch op.kind {
+		case rConst:
+			dst = append(dst, op.s...)
+		case rExtract:
+			dst = append(dst, s[spans[op.i-1].Start:spans[op.j-1].End]...)
+		case rExtractFixed:
+			dst = append(dst, s[op.i:op.j]...)
+		case rErr:
+			return dst, op.err
+		}
+	}
+	return dst, nil
+}
+
+// AppendApply applies the program to s, appending the output to dst. A
+// fused identity case appends s itself. No case matching (or every matching
+// case's guard failing) returns unifi.ErrNoMatch; a plan error returns the
+// reference engine's error after the same partial append. With a reused
+// arena the call performs zero allocations beyond dst growth.
+func (m *Machine) AppendApply(dst []byte, s string, a *Arena) ([]byte, error) {
+	ci, spans, ok := m.selectCase(s, &a.sc)
+	if !ok {
+		return dst, unifi.ErrNoMatch
+	}
+	c := &m.cases[ci]
+	if c.identity {
+		return append(dst, s...), nil
+	}
+	return renderInto(dst, c, s, spans)
+}
+
+// Apply applies the program to s. It mirrors
+// unifi.CompiledGuardedProgram.Apply: ("", unifi.ErrNoMatch) when no guarded
+// case applies, ("", err) on a plan error. An identity-case hit returns s
+// itself with no copy.
+func (m *Machine) Apply(s string) (string, error) {
+	a := arenaPool.Get().(*Arena)
+	defer arenaPool.Put(a)
+	ci, spans, ok := m.selectCase(s, &a.sc)
+	if !ok {
+		return "", unifi.ErrNoMatch
+	}
+	c := &m.cases[ci]
+	if c.identity {
+		return s, nil
+	}
+	out, err := renderInto(a.sc.out[:0], c, s, spans)
+	a.sc.out = out[:0]
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}
+
+// Match reports the winning case and its token spans (a fresh slice) —
+// the observability hook the fuzz and parity layers compare against the
+// reference engine's per-case Match/guard loop.
+func (m *Machine) Match(s string) (caseIdx int, spans []rematch.Span, ok bool) {
+	var sc scratch
+	ci, sp, ok := m.selectCase(s, &sc)
+	if !ok {
+		return 0, nil, false
+	}
+	if sp == nil {
+		if sp, ok = m.spansFor(&m.cases[ci], s, &sc); !ok {
+			return 0, nil, false
+		}
+	}
+	out := make([]rematch.Span, len(sp))
+	copy(out, sp)
+	return ci, out, true
+}
+
+func bget(b []uint64, i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+func bset(b []uint64, i int)      { b[i>>6] |= 1 << uint(i&63) }

@@ -100,6 +100,25 @@ func Map[T, R any](workers int, in []T, fn func(T) R) []R {
 	return out
 }
 
+// Window resolves Stream's in-flight admission bound. An explicit
+// inFlight >= 1 is honored as given; otherwise the window is twice the
+// *effective* parallelism — min(Workers(workers), GOMAXPROCS) — rather
+// than twice the requested worker count. Workers beyond the CPU count add
+// no throughput, but a window sized off them admits chunks that can only
+// queue, growing memory and scheduler churn: on a 1-CPU machine, 8
+// requested workers used to get a 16-chunk window and ran measurably
+// slower than serial on mid-size columns.
+func Window(workers, inFlight int) int {
+	if inFlight >= 1 {
+		return inFlight
+	}
+	w := Workers(workers)
+	if p := runtime.GOMAXPROCS(0); w > p {
+		w = p
+	}
+	return 2 * w
+}
+
 // Stream pulls jobs from a sequential source, fans them across workers,
 // and hands results to a sequential sink in source order — the bounded
 // pipeline shape behind chunked bulk-apply, where the column does not fit
@@ -109,8 +128,8 @@ func Map[T, R any](workers int, in []T, fn func(T) R) []R {
 // error; fn runs concurrently over admitted jobs; emit is called on the
 // caller's goroutine, once per admitted job, in admission order. At most
 // inFlight jobs are admitted and not yet emitted (inFlight <= 0 selects
-// 2× the resolved worker count; a positive bound below the worker count
-// is honored — it just leaves workers idle), which is the memory bound:
+// the Window default; a positive bound below the worker count is honored
+// — it just leaves workers idle), which is the memory bound:
 // source and sink never drift further apart than inFlight jobs no matter
 // how uneven the per-job work is.
 //
@@ -136,9 +155,7 @@ func Stream[J, R any](workers, inFlight int, next func() (J, bool, error), fn fu
 			}
 		}
 	}
-	if inFlight <= 0 {
-		inFlight = 2 * w
-	}
+	inFlight = Window(workers, inFlight)
 
 	type job struct {
 		j   J

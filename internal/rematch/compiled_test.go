@@ -101,3 +101,39 @@ func BenchmarkCompiledVsOneShot(b *testing.B) {
 		}
 	})
 }
+
+// MatchInto agrees with Match on spans and verdicts, reuses a buffer with
+// capacity in place, and grows an undersized one.
+func TestMatchInto(t *testing.T) {
+	patterns := [][]token.Token{
+		tokenize.Tokenize("(734) 645-8397"),
+		{token.Base(token.AlphaNum, token.Plus), token.Lit("@"), token.Base(token.AlphaNum, token.Plus)},
+		nil,
+	}
+	subjects := []string{"(734) 645-8397", "a b@c d", "nope", ""}
+	var buf []Span
+	for _, p := range patterns {
+		c := Compile(p)
+		for _, s := range subjects {
+			wantSpans, wantOK := Match(p, s)
+			gotSpans, gotOK := c.MatchInto(s, buf)
+			if cap(gotSpans) > cap(buf) {
+				buf = gotSpans
+			}
+			if wantOK != gotOK {
+				t.Fatalf("pattern %v on %q: MatchInto ok=%v, Match ok=%v", p, s, gotOK, wantOK)
+			}
+			if wantOK && len(p) > 0 && !reflect.DeepEqual(wantSpans, gotSpans[:len(p)]) {
+				t.Errorf("pattern %v on %q: MatchInto %v != Match %v", p, s, gotSpans[:len(p)], wantSpans)
+			}
+		}
+	}
+	// A buffer with capacity must be returned, filled, without allocating.
+	p := patterns[0]
+	c := Compile(p)
+	big := make([]Span, len(p)+4)
+	got, ok := c.MatchInto("(313) 263-1192", big)
+	if !ok || len(got) != len(p) || cap(got) != cap(big) {
+		t.Errorf("MatchInto did not reuse the caller buffer: ok=%v len=%d cap=%d", ok, len(got), cap(got))
+	}
+}

@@ -119,6 +119,29 @@ func (c *Compiled) Match(s string) ([]Span, bool) {
 	return spans, true
 }
 
+// MatchInto is Match with a caller-owned span buffer: buf is grown (or
+// allocated) to one span per token and returned filled on a match,
+// sparing the per-call span allocation on bulk-apply hot paths. The
+// returned slice aliases buf when it had capacity; callers reuse it
+// across calls.
+func (c *Compiled) MatchInto(s string, buf []Span) ([]Span, bool) {
+	if !c.quick(s) {
+		return buf, false
+	}
+	if len(c.toks) == 0 {
+		return buf, s == ""
+	}
+	if cap(buf) < len(c.toks) {
+		buf = make([]Span, len(c.toks))
+	}
+	spans := buf[:len(c.toks)]
+	m := c.pool.Get().(*matcher)
+	m.reset(c.toks, s)
+	ok := m.match(0, 0, spans)
+	c.pool.Put(m)
+	return spans, ok
+}
+
 // Matches reports whether s is an exact match without materializing spans.
 func (c *Compiled) Matches(s string) bool {
 	if !c.quick(s) {

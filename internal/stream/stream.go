@@ -37,6 +37,19 @@ type appendApplier interface {
 	AppendApply(dst []byte, s string) ([]byte, bool)
 }
 
+// ArenaApplier is the zero-allocation fast path over appendApplier: the
+// engine acquires one row-apply function per chunk, so the applier can
+// bind chunk-scoped scratch (span buffers, automaton state) once and
+// amortize it across every row of the chunk instead of paying per-row
+// pool traffic. release returns the scratch after the chunk is encoded;
+// the returned apply must not be called after release, and distinct
+// ChunkApplier results must be independently usable (chunks run
+// concurrently). clx.SavedProgram implements this when its program
+// compiled to a byte automaton.
+type ArenaApplier interface {
+	ChunkApplier() (apply func(dst []byte, s string) ([]byte, bool), release func())
+}
+
 // Options configure one streaming run.
 type Options struct {
 	// ChunkSize is the number of rows per chunk (default 1024). It is the
@@ -69,8 +82,11 @@ type Stats struct {
 	Chunks  int64 `json:"chunks"`
 	Flagged int64 `json:"flagged"`
 	// PeakInFlight is the high-water mark of admitted-but-unemitted
-	// chunks — at most MaxInFlight by construction.
+	// chunks — at most Window by construction.
 	PeakInFlight int `json:"peak_in_flight"`
+	// Window is the resolved admission bound the run used (MaxInFlight,
+	// or the parallel.Window default sized off effective parallelism).
+	Window int `json:"window"`
 	// Duration and RowsPerSec time the run end to end.
 	Duration   time.Duration `json:"duration_ns"`
 	RowsPerSec float64       `json:"rows_per_sec"`
@@ -95,6 +111,7 @@ func Run(prog Applier, r Reader, enc Encoder, w io.Writer, opts Options) (Stats,
 	if chunkSize <= 0 {
 		chunkSize = DefaultChunkSize
 	}
+	ca, arenaPath := prog.(ArenaApplier)
 	aa, fastPath := prog.(appendApplier)
 
 	var (
@@ -133,6 +150,20 @@ func Run(prog Applier, r Reader, enc Encoder, w io.Writer, opts Options) (Stats,
 	apply := func(rows []string) chunkOut {
 		defer func(t0 time.Time) { mChunkDur.Observe(time.Since(t0)) }(time.Now())
 		out := chunkOut{rows: len(rows), payload: make([]byte, 0, 16*len(rows))}
+		if arenaPath {
+			applyRow, release := ca.ChunkApplier()
+			defer release()
+			var val []byte
+			for i, s := range rows {
+				var ok bool
+				val, ok = applyRow(val[:0], s)
+				if !ok {
+					out.flagged = append(out.flagged, i)
+				}
+				out.payload = enc.AppendValue(out.payload, val)
+			}
+			return out
+		}
 		if fastPath {
 			var val []byte
 			for i, s := range rows {
@@ -176,7 +207,8 @@ func Run(prog Applier, r Reader, enc Encoder, w io.Writer, opts Options) (Stats,
 		return nil
 	}
 
-	err := parallel.Stream(opts.Workers, opts.MaxInFlight, next, apply, emit)
+	st.Window = parallel.Window(opts.Workers, opts.MaxInFlight)
+	err := parallel.Stream(opts.Workers, st.Window, next, apply, emit)
 	st.PeakInFlight = int(peak.Load())
 	st.Duration = time.Since(start)
 	if s := st.Duration.Seconds(); s > 0 {

@@ -6,10 +6,16 @@ package unifi
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"clx/internal/pattern"
 	"clx/internal/rematch"
 )
+
+// spanBufs pools per-call span buffers for the guarded-dispatch hot
+// paths: one buffer serves every candidate case of a row, replacing the
+// per-case span allocation inside Compiled.Match.
+var spanBufs = sync.Pool{New: func() any { return new([]rematch.Span) }}
 
 // CompiledProgram is a Program prepared for repeated application. It is
 // safe for concurrent use.
@@ -96,8 +102,13 @@ func (gp GuardedProgram) Compile() *CompiledGuardedProgram {
 // Apply transforms s with the first applicable case, exactly as
 // GuardedProgram.Apply does.
 func (cp *CompiledGuardedProgram) Apply(s string) (string, error) {
+	bp := spanBufs.Get().(*[]rematch.Span)
+	defer spanBufs.Put(bp)
 	for _, c := range cp.cases {
-		spans, ok := c.matcher.Match(s)
+		spans, ok := c.matcher.MatchInto(s, *bp)
+		if cap(spans) > cap(*bp) {
+			*bp = spans
+		}
 		if !ok {
 			continue
 		}
@@ -121,8 +132,13 @@ func (cp *CompiledGuardedProgram) Apply(s string) (string, error) {
 // grown only by whatever the failing plan wrote; callers that need
 // all-or-nothing truncate back to their own mark.
 func (cp *CompiledGuardedProgram) AppendApply(dst []byte, s string) ([]byte, error) {
+	bp := spanBufs.Get().(*[]rematch.Span)
+	defer spanBufs.Put(bp)
 	for _, c := range cp.cases {
-		spans, ok := c.matcher.Match(s)
+		spans, ok := c.matcher.MatchInto(s, *bp)
+		if cap(spans) > cap(*bp) {
+			*bp = spans
+		}
 		if !ok {
 			continue
 		}
@@ -140,21 +156,35 @@ func (cp *CompiledGuardedProgram) AppendApply(dst []byte, s string) ([]byte, err
 	return dst, ErrNoMatch
 }
 
-// applySpans evaluates the plan over precomputed match spans.
+// applySpans evaluates the plan over precomputed match spans. A sizing
+// pass validates every operator and totals the exact output length first,
+// so the builder grows once instead of doubling through appends — and
+// since the old code discarded partial output on error anyway, erroring
+// before any write is observably identical.
 func (p Plan) applySpans(s string, spans []rematch.Span) (string, error) {
-	var b strings.Builder
+	size := 0
 	for _, op := range p.Ops {
 		switch op := op.(type) {
 		case ConstStr:
-			b.WriteString(op.S)
+			size += len(op.S)
 		case Extract:
 			if op.I < 1 || op.J > len(spans) || op.I > op.J {
 				return "", fmt.Errorf("unifi: Extract(%d,%d) out of range for source of %d tokens",
 					op.I, op.J, len(spans))
 			}
-			b.WriteString(s[spans[op.I-1].Start:spans[op.J-1].End])
+			size += spans[op.J-1].End - spans[op.I-1].Start
 		default:
 			return "", fmt.Errorf("unifi: unknown operator %T", op)
+		}
+	}
+	var b strings.Builder
+	b.Grow(size)
+	for _, op := range p.Ops {
+		switch op := op.(type) {
+		case ConstStr:
+			b.WriteString(op.S)
+		case Extract:
+			b.WriteString(s[spans[op.I-1].Start:spans[op.J-1].End])
 		}
 	}
 	return b.String(), nil

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"sync"
 	"time"
 
+	"clx/internal/automaton"
 	"clx/internal/parallel"
 	"clx/internal/pattern"
 	"clx/internal/rematch"
@@ -24,6 +26,12 @@ type SavedProgram struct {
 	// the per-row hot path of Apply never rebuilds compile-cache keys.
 	compiled *unifi.CompiledGuardedProgram
 	targetM  *rematch.Compiled
+	// auto is the program fused into a single byte automaton (target
+	// identity case + every guarded case, one scan per row), built once at
+	// load. nil when the compiler can't lower the program; the
+	// backtracking engine above then serves it — counted in
+	// automaton.GlobalStats.
+	auto *automaton.Machine
 	// Workers bounds the goroutine fan-out of Transform: 0 uses one worker
 	// per CPU, 1 runs serially. Output is identical for every setting.
 	Workers int
@@ -77,13 +85,34 @@ func LoadProgram(data []byte) (*SavedProgram, error) {
 	if err := json.Unmarshal([]byte(fmt.Sprintf(`{"cases":%s}`, sj.Cases)), &prog); err != nil {
 		return nil, err
 	}
-	return &SavedProgram{
+	sp := &SavedProgram{
 		target:   target,
 		prog:     prog,
 		compiled: prog.Compile(),
 		targetM:  rematch.CompileCached(target.Tokens()),
-	}, nil
+	}
+	// Best effort: a program the automaton compiler can't lower (counted
+	// in the fallback metric) is served by the backtracking engine with
+	// identical results.
+	if m, err := automaton.CompileSaved(target, prog); err == nil {
+		sp.auto = m
+	}
+	return sp, nil
 }
+
+// HasAutomaton reports whether the program compiled to the fused byte
+// automaton; false means the backtracking reference engine serves it (the
+// clx_automaton_fallback_total counter records why loads got here).
+func (sp *SavedProgram) HasAutomaton() bool { return sp.auto != nil }
+
+// DisableAutomaton forces every apply path onto the backtracking
+// reference engine — the differential layer's handle for comparing the
+// two engines on the same loaded program.
+func (sp *SavedProgram) DisableAutomaton() { sp.auto = nil }
+
+// autoArenas pools automaton scratch across rows, chunks, and programs;
+// Machine scratch is program-independent, so one pool serves all.
+var autoArenas = sync.Pool{New: func() any { return new(automaton.Arena) }}
 
 // Target returns the program's target pattern.
 func (sp *SavedProgram) Target() Pattern { return sp.target }
@@ -111,6 +140,16 @@ func (sp *SavedProgram) Sources() []Pattern {
 // a known format are transformed, anything else is returned unchanged with
 // ok=false.
 func (sp *SavedProgram) Apply(s string) (string, bool) {
+	if sp.auto != nil {
+		// One fused scan: the identity (target) case and every guarded
+		// case dispatch together, so a clean row costs the same single
+		// pass as a transformed one.
+		out, err := sp.auto.Apply(s)
+		if err != nil {
+			return s, false
+		}
+		return out, true
+	}
 	if sp.targetM.Matches(s) {
 		return s, true
 	}
@@ -127,6 +166,12 @@ func (sp *SavedProgram) Apply(s string) (string, bool) {
 // byte-for-byte the Apply result — the invariant the streaming bulk-apply
 // engine's differential suite pins against Transform.
 func (sp *SavedProgram) AppendApply(dst []byte, s string) ([]byte, bool) {
+	if sp.auto != nil {
+		a := autoArenas.Get().(*automaton.Arena)
+		out, ok := sp.autoAppendApply(a, dst, s)
+		autoArenas.Put(a)
+		return out, ok
+	}
 	if sp.targetM.Matches(s) {
 		return append(dst, s...), true
 	}
@@ -136,6 +181,33 @@ func (sp *SavedProgram) AppendApply(dst []byte, s string) ([]byte, bool) {
 		return append(out[:mark], s...), false
 	}
 	return out, true
+}
+
+// autoAppendApply is AppendApply on the automaton with caller-held
+// scratch: uncovered rows and plan errors truncate back to the mark and
+// pass the input through, exactly like the reference path above.
+func (sp *SavedProgram) autoAppendApply(a *automaton.Arena, dst []byte, s string) ([]byte, bool) {
+	mark := len(dst)
+	out, err := sp.auto.AppendApply(dst, s, a)
+	if err != nil {
+		return append(out[:mark], s...), false
+	}
+	return out, true
+}
+
+// ChunkApplier implements the streaming engine's arena fast path
+// (stream.ArenaApplier): the returned apply is AppendApply bound to
+// chunk-scoped automaton scratch, acquired once here instead of once per
+// row, which is what makes the steady-state streaming path allocation
+// free. Without an automaton it degrades to the plain AppendApply method.
+func (sp *SavedProgram) ChunkApplier() (apply func(dst []byte, s string) ([]byte, bool), release func()) {
+	if sp.auto == nil {
+		return sp.AppendApply, func() {}
+	}
+	a := autoArenas.Get().(*automaton.Arena)
+	return func(dst []byte, s string) ([]byte, bool) {
+		return sp.autoAppendApply(a, dst, s)
+	}, func() { autoArenas.Put(a) }
 }
 
 // Transform applies the program to a column, returning the output and the

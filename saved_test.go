@@ -177,3 +177,70 @@ func TestExportLoadSuiteWide(t *testing.T) {
 		}
 	}
 }
+
+// AppendApply agrees with Apply byte for byte on both engines — the
+// automaton fast path and the backtracking reference after
+// DisableAutomaton — including uncovered rows (input passthrough, ok
+// false) and buffer reuse across calls.
+func TestAppendApplyBothEngines(t *testing.T) {
+	column := []string{
+		"(734) 645-8397", "734.236.3466", "734-422-8073", "N/A",
+	}
+	sess := clx.NewSession(column)
+	tr, err := sess.Label(clx.MustParsePattern("<D>3'-'<D>3'-'<D>4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := tr.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := clx.LoadProgram(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !auto.HasAutomaton() {
+		t.Fatal("phones program should lower to an automaton")
+	}
+	ref, err := clx.LoadProgram(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.DisableAutomaton()
+	if ref.HasAutomaton() {
+		t.Fatal("DisableAutomaton left the automaton attached")
+	}
+
+	subjects := append([]string{"", "x", "313.263.1192"}, column...)
+	for _, sp := range []*clx.SavedProgram{auto, ref} {
+		var buf []byte
+		for _, s := range subjects {
+			want, wantOK := sp.Apply(s)
+			buf = buf[:0]
+			buf = append(buf, "pre|"...)
+			out, ok := sp.AppendApply(buf, s)
+			if ok != wantOK {
+				t.Fatalf("AppendApply(%q) ok=%v, Apply ok=%v", s, ok, wantOK)
+			}
+			got := string(out[len("pre|"):])
+			if ok && got != want {
+				t.Errorf("AppendApply(%q) = %q, Apply = %q", s, got, want)
+			}
+			if !ok && got != s {
+				t.Errorf("AppendApply(%q) uncovered row appended %q, want input", s, got)
+			}
+			buf = out
+		}
+
+		// The chunk applier is the same function bound to chunk scratch.
+		apply, release := sp.ChunkApplier()
+		for _, s := range subjects {
+			want, wantOK := sp.Apply(s)
+			out, ok := apply(nil, s)
+			if ok != wantOK || (ok && string(out) != want) {
+				t.Errorf("ChunkApplier(%q) = (%q,%v), Apply = (%q,%v)", s, out, ok, want, wantOK)
+			}
+		}
+		release()
+	}
+}
