@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: test race gate cover fuzz-smoke apply-parity bench bench-profile pipeline profile bench-store bench-stream bench-obs obs-smoke bench-apply
+.PHONY: test race gate cover fuzz-smoke apply-parity bench bench-profile pipeline profile bench-store bench-stream bench-obs obs-smoke bench-apply load-smoke bench-load
 
 # Tier-1: vet + build + unit tests (ROADMAP.md contract).
 test:
@@ -20,8 +20,9 @@ race:
 
 # Full gate: tier-1, race tier, per-package coverage floors, a
 # 10s-per-target fuzz smoke over the seed corpora, the automaton-vs-
-# reference apply-parity smoke, and the metrics-overhead smoke test.
-gate: test race cover fuzz-smoke apply-parity obs-smoke
+# reference apply-parity smoke, the metrics-overhead smoke test, and the
+# load-harness smoke.
+gate: test race cover fuzz-smoke apply-parity obs-smoke load-smoke
 
 # Apply-parity smoke: the byte-automaton engine must produce byte-identical
 # output (rows, flagged indices, errors) to the retained backtracking
@@ -87,3 +88,21 @@ bench-apply:
 # changes when bench-obs is run deliberately.
 obs-smoke:
 	$(GO) run ./cmd/clxbench -exp obs -obs-out /tmp/BENCH_obs_smoke.json
+
+# Load-harness smoke: a fixed-seed open-loop run from internal/loadgen
+# against the in-process daemon handler — zero transport errors, every
+# arrival accounted for as 200 or 429, generous p99 budget. Keeps the
+# load harness and the daemon API from drifting apart.
+load-smoke:
+	$(GO) test -race -count=1 -run 'TestLoadSmoke' ./cmd/clxd
+
+# Regenerate BENCH_load.json: build the daemon, then let clxload spawn it
+# per phase — a 3-rate sweep (median of 3), a knee search for the p99 SLO,
+# and the semaphore-vs-tokenbucket A/B under bursty stream-only arrivals
+# with exact 200/429 reconciliation against /v1/stats.
+bench-load:
+	$(GO) build -o /tmp/clxd-bench ./cmd/clxd
+	$(GO) run ./cmd/clxload -clxd /tmp/clxd-bench -rates 100,200,400 \
+		-duration 3s -reps 3 -max-streams 4 \
+		-knee -slo-p99 250ms -knee-hi 6400 \
+		-ab -ab-rate 3000 -out BENCH_load.json

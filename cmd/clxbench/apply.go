@@ -26,6 +26,7 @@ import (
 	clx "clx"
 	"clx/internal/dataset"
 	"clx/internal/pattern"
+	"clx/internal/provenance"
 	"clx/internal/stream"
 )
 
@@ -38,10 +39,11 @@ var (
 
 // applyReport is the persisted BENCH_apply.json document.
 type applyReport struct {
-	GeneratedUnix int64  `json:"generated_unix"`
-	GOMAXPROCS    int    `json:"gomaxprocs"`
-	ChunkSize     int    `json:"chunk_size"`
-	Target        string `json:"target"`
+	GeneratedUnix int64                 `json:"generated_unix"`
+	Provenance    provenance.Provenance `json:"provenance"`
+	GOMAXPROCS    int                   `json:"gomaxprocs"`
+	ChunkSize     int                   `json:"chunk_size"`
+	Target        string                `json:"target"`
 	// Reps is the run count per point; times and allocs are medians.
 	Reps  int              `json:"reps"`
 	Sizes []applySizePoint `json:"sizes"`
@@ -118,6 +120,7 @@ func applyExperiment() {
 	const reps = 5
 	report := applyReport{
 		GeneratedUnix: time.Now().Unix(),
+		Provenance:    provenance.Collect(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		ChunkSize:     stream.DefaultChunkSize,
 		Target:        target.String(),

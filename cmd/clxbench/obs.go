@@ -30,6 +30,7 @@ import (
 	"clx/internal/dataset"
 	"clx/internal/obs"
 	"clx/internal/pattern"
+	"clx/internal/provenance"
 	"clx/internal/stream"
 )
 
@@ -52,16 +53,17 @@ type obsModeRun struct {
 
 // obsReport is the persisted BENCH_obs.json document.
 type obsReport struct {
-	GeneratedUnix       int64      `json:"generated_unix"`
-	Rows                int        `json:"rows"`
-	GOMAXPROCS          int        `json:"gomaxprocs"`
-	Reps                int        `json:"reps"`
-	Baseline            obsModeRun `json:"baseline"`
-	Instrumented        obsModeRun `json:"instrumented"`
-	PipelineOverheadPct float64    `json:"pipeline_overhead_pct"`
-	StreamOverheadPct   float64    `json:"stream_overhead_pct"`
-	MaxOverheadPct      float64    `json:"max_overhead_pct"`
-	Pass                bool       `json:"pass"`
+	GeneratedUnix       int64                 `json:"generated_unix"`
+	Provenance          provenance.Provenance `json:"provenance"`
+	Rows                int                   `json:"rows"`
+	GOMAXPROCS          int                   `json:"gomaxprocs"`
+	Reps                int                   `json:"reps"`
+	Baseline            obsModeRun            `json:"baseline"`
+	Instrumented        obsModeRun            `json:"instrumented"`
+	PipelineOverheadPct float64               `json:"pipeline_overhead_pct"`
+	StreamOverheadPct   float64               `json:"stream_overhead_pct"`
+	MaxOverheadPct      float64               `json:"max_overhead_pct"`
+	Pass                bool                  `json:"pass"`
 }
 
 func obsExperiment() {
@@ -134,6 +136,7 @@ func obsExperiment() {
 
 	report := obsReport{
 		GeneratedUnix:  time.Now().Unix(),
+		Provenance:     provenance.Collect(),
 		Rows:           len(rows),
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
 		Reps:           reps,

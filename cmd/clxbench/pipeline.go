@@ -25,6 +25,7 @@ import (
 	"clx/internal/cluster"
 	"clx/internal/dataset"
 	"clx/internal/pattern"
+	"clx/internal/provenance"
 	"clx/internal/synth"
 )
 
@@ -52,11 +53,12 @@ type pipelineRun struct {
 
 // pipelineReport is the persisted BENCH_pipeline.json document.
 type pipelineReport struct {
-	GeneratedUnix int64         `json:"generated_unix"`
-	Rows          int           `json:"rows"`
-	GOMAXPROCS    int           `json:"gomaxprocs"`
-	Target        string        `json:"target"`
-	Runs          []pipelineRun `json:"runs"`
+	GeneratedUnix int64                 `json:"generated_unix"`
+	Provenance    provenance.Provenance `json:"provenance"`
+	Rows          int                   `json:"rows"`
+	GOMAXPROCS    int                   `json:"gomaxprocs"`
+	Target        string                `json:"target"`
+	Runs          []pipelineRun         `json:"runs"`
 }
 
 // pipelineSweep is the worker counts measured: the serial baseline, the
@@ -79,6 +81,7 @@ func pipeline() {
 
 	report := pipelineReport{
 		GeneratedUnix: time.Now().Unix(),
+		Provenance:    provenance.Collect(),
 		Rows:          len(rows),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Target:        target.String(),

@@ -23,6 +23,7 @@ import (
 
 	"clx/internal/cluster"
 	"clx/internal/dataset"
+	"clx/internal/provenance"
 )
 
 var profileOut = flag.String("profile-out", "BENCH_profile.json",
@@ -50,10 +51,11 @@ type profileRun struct {
 
 // profileReport is the persisted BENCH_profile.json document.
 type profileReport struct {
-	GeneratedUnix  int64        `json:"generated_unix"`
-	Rows           int          `json:"rows"`
-	DistinctValues int          `json:"distinct_values"`
-	LeafPatterns   int          `json:"leaf_patterns"`
+	GeneratedUnix  int64                 `json:"generated_unix"`
+	Provenance     provenance.Provenance `json:"provenance"`
+	Rows           int                   `json:"rows"`
+	DistinctValues int                   `json:"distinct_values"`
+	LeafPatterns   int                   `json:"leaf_patterns"`
 	// DistinctPatternRatio is leaf patterns / rows — the redundancy counted
 	// profiling collapses (1.0 would mean every row has its own pattern).
 	DistinctPatternRatio float64      `json:"distinct_pattern_ratio"`
@@ -71,6 +73,7 @@ func profileExperiment() {
 
 	report := profileReport{
 		GeneratedUnix: time.Now().Unix(),
+		Provenance:    provenance.Collect(),
 		Rows:          len(rows),
 		Reps:          reps,
 	}

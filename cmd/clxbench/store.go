@@ -19,6 +19,7 @@ import (
 	"clx/internal/dataset"
 	"clx/internal/pattern"
 	"clx/internal/progstore"
+	"clx/internal/provenance"
 	"clx/internal/rematch"
 )
 
@@ -27,14 +28,15 @@ var storeOut = flag.String("store-out", "BENCH_store.json",
 
 // storeReport is the persisted BENCH_store.json document.
 type storeReport struct {
-	GeneratedUnix int64   `json:"generated_unix"`
-	Rows          int     `json:"rows"`
-	GOMAXPROCS    int     `json:"gomaxprocs"`
-	Target        string  `json:"target"`
-	RegisterMS    float64 `json:"synthesize_and_register_ms"`
-	ReopenMS      float64 `json:"reopen_recover_ms"`
-	ApplyColdMS   float64 `json:"apply_by_id_cold_cache_ms"`
-	ApplyWarmMS   float64 `json:"apply_by_id_warm_cache_ms"`
+	GeneratedUnix int64                 `json:"generated_unix"`
+	Provenance    provenance.Provenance `json:"provenance"`
+	Rows          int                   `json:"rows"`
+	GOMAXPROCS    int                   `json:"gomaxprocs"`
+	Target        string                `json:"target"`
+	RegisterMS    float64               `json:"synthesize_and_register_ms"`
+	ReopenMS      float64               `json:"reopen_recover_ms"`
+	ApplyColdMS   float64               `json:"apply_by_id_cold_cache_ms"`
+	ApplyWarmMS   float64               `json:"apply_by_id_warm_cache_ms"`
 	// RegisterOverWarm is how many warm applies one synthesis buys.
 	RegisterOverWarm float64 `json:"register_over_warm_apply"`
 }
@@ -53,6 +55,7 @@ func storeExperiment() {
 		len(rows), *pipelineReps)
 	report := storeReport{
 		GeneratedUnix: time.Now().Unix(),
+		Provenance:    provenance.Collect(),
 		Rows:          len(rows),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Target:        target.String(),

@@ -21,6 +21,7 @@ import (
 	clx "clx"
 	"clx/internal/dataset"
 	"clx/internal/pattern"
+	"clx/internal/provenance"
 	"clx/internal/stream"
 )
 
@@ -33,11 +34,12 @@ var (
 
 // streamReport is the persisted BENCH_stream.json document.
 type streamReport struct {
-	GeneratedUnix int64             `json:"generated_unix"`
-	GOMAXPROCS    int               `json:"gomaxprocs"`
-	ChunkSize     int               `json:"chunk_size"`
-	Target        string            `json:"target"`
-	Sizes         []streamSizePoint `json:"sizes"`
+	GeneratedUnix int64                 `json:"generated_unix"`
+	Provenance    provenance.Provenance `json:"provenance"`
+	GOMAXPROCS    int                   `json:"gomaxprocs"`
+	ChunkSize     int                   `json:"chunk_size"`
+	Target        string                `json:"target"`
+	Sizes         []streamSizePoint     `json:"sizes"`
 }
 
 // streamSizePoint holds one column size: the streaming engine and the
@@ -101,6 +103,7 @@ func streamExperiment() {
 
 	report := streamReport{
 		GeneratedUnix: time.Now().Unix(),
+		Provenance:    provenance.Collect(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		ChunkSize:     stream.DefaultChunkSize,
 		Target:        target.String(),

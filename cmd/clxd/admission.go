@@ -1,0 +1,181 @@
+// Streaming-apply admission policies. Each stream pins a chunk-window of
+// memory for its whole lifetime, so admission must be bounded; how it is
+// bounded is a policy choice the operator A/Bs under real load (clxload's
+// bursty process is built for exactly that):
+//
+//   - semaphore: at most N streams in flight, acquire-or-429. Hard memory
+//     bound; under a burst the head is admitted and the tail rejected
+//     regardless of how idle the server was beforehand.
+//   - tokenbucket: admission at a sustained rate with a burst allowance.
+//     Idle time banks credit, so a burst after a quiet period is absorbed
+//     up to the bucket size; memory is bounded in expectation (rate ×
+//     stream duration), not absolutely.
+//
+// The policy is selected by the -admission flag, and both sides of every
+// decision are counted (clx_streams_admitted_total /
+// clx_streams_rejected_total), so client-observed 200/429 counts can be
+// reconciled exactly against the server's accounting.
+package main
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// admissionPolicy gates one streaming request. Admit returns whether the
+// request may proceed and, when it may, a release to call exactly once
+// when the stream ends (a no-op func for policies with nothing to give
+// back — never nil).
+type admissionPolicy interface {
+	Admit() (release func(), ok bool)
+	Name() string
+}
+
+// semaphoreAdmission is the original policy: a counting semaphore with a
+// non-blocking acquire.
+type semaphoreAdmission struct {
+	sem chan struct{}
+}
+
+func newSemaphoreAdmission(slots int) *semaphoreAdmission {
+	if slots < 1 {
+		slots = 1
+	}
+	return &semaphoreAdmission{sem: make(chan struct{}, slots)}
+}
+
+func (a *semaphoreAdmission) Admit() (func(), bool) {
+	select {
+	case a.sem <- struct{}{}:
+		return func() { <-a.sem }, true
+	default:
+		return nil, false
+	}
+}
+
+func (a *semaphoreAdmission) Name() string { return "semaphore" }
+
+// slots reports the configured capacity (for error messages and stats).
+func (a *semaphoreAdmission) slots() int { return cap(a.sem) }
+
+// tokenBucketAdmission admits at a sustained rate with a burst
+// allowance: the bucket holds up to burst tokens, refills at rate
+// tokens/second, and each admitted stream spends one. Release is a no-op
+// — the bucket shapes arrival rate, not concurrency.
+type tokenBucketAdmission struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock for tests
+}
+
+func newTokenBucketAdmission(rate, burst float64) *tokenBucketAdmission {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	tb := &tokenBucketAdmission{rate: rate, burst: burst, now: time.Now}
+	// A fresh daemon starts with a full bucket: the first burst after
+	// boot is as admissible as one after any idle period.
+	tb.tokens = burst
+	tb.last = tb.now()
+	return tb
+}
+
+func (a *tokenBucketAdmission) Admit() (func(), bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	if dt := now.Sub(a.last).Seconds(); dt > 0 {
+		a.tokens = math.Min(a.burst, a.tokens+dt*a.rate)
+	}
+	a.last = now
+	if a.tokens >= 1 {
+		a.tokens--
+		return func() {}, true
+	}
+	return nil, false
+}
+
+func (a *tokenBucketAdmission) Name() string { return "tokenbucket" }
+
+// newAdmissionPolicy is the -admission flag factory.
+func newAdmissionPolicy(mode string, slots int, rate, burst float64) (admissionPolicy, error) {
+	switch mode {
+	case "", "semaphore":
+		return newSemaphoreAdmission(slots), nil
+	case "tokenbucket":
+		return newTokenBucketAdmission(rate, burst), nil
+	default:
+		return nil, fmt.Errorf("unknown admission policy %q (want semaphore or tokenbucket)", mode)
+	}
+}
+
+// durationEWMA is an exponentially weighted moving average over
+// durations, updated lock-free. It backs the Retry-After hint on 429: a
+// rejected client is told to come back after roughly one typical stream
+// duration, because that is when a slot (or token) is likely to free —
+// a fixed "1" underestimates backoff whenever streams run long.
+type durationEWMA struct {
+	bits atomic.Uint64 // float64 seconds; 0 = no observations yet
+}
+
+// ewmaAlpha weights the newest observation: 0.2 ≈ a 5-observation
+// memory, enough to track load shifts without chasing single outliers.
+const ewmaAlpha = 0.2
+
+// Observe folds one duration into the average.
+func (e *durationEWMA) Observe(d time.Duration) {
+	s := d.Seconds()
+	if s < 0 {
+		return
+	}
+	for {
+		old := e.bits.Load()
+		var next float64
+		if old == 0 {
+			next = s // first observation seeds the average
+		} else {
+			prev := math.Float64frombits(old)
+			next = (1-ewmaAlpha)*prev + ewmaAlpha*s
+		}
+		nb := math.Float64bits(next)
+		if nb == 0 {
+			nb = 1 // 0.0 is the "unset" sentinel; clamp to the smallest denormal
+		}
+		if e.bits.CompareAndSwap(old, nb) {
+			return
+		}
+	}
+}
+
+// Seconds returns the current average, 0 before any observation.
+func (e *durationEWMA) Seconds() float64 {
+	return math.Float64frombits(e.bits.Load())
+}
+
+// retryAfterSeconds renders the EWMA as a Retry-After value: the average
+// stream duration rounded up to whole seconds, floored at 1 (HTTP's
+// minimum useful hint) and capped at 30 (past that, the hint is "shed
+// load elsewhere", not "poll slower").
+func (e *durationEWMA) retryAfterSeconds() int {
+	s := e.Seconds()
+	if s <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(s))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}

@@ -1,0 +1,96 @@
+// The load-smoke gate (make load-smoke): a short fixed-seed open-loop
+// run from internal/loadgen against the real daemon handler over
+// httptest. It exists so the load harness itself cannot rot — if the
+// generator, the endpoints, or the admission path drift apart, this
+// fails in `make gate`, not in the next capacity study. Budgets are
+// deliberately generous (this is a correctness smoke, not a benchmark):
+// zero transport errors, every arrival accounted for as 200 or 429, and
+// a p99 that only a hung server would miss.
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"clx/internal/loadgen"
+)
+
+func TestLoadSmoke(t *testing.T) {
+	baseURL, id := startStressServer(t, 2*4) // fixed slot count, machine-independent
+	tgt := loadgen.Target{
+		BaseURL:   baseURL,
+		ProgramID: id,
+		Client:    loadgen.NewClient(10 * time.Second),
+	}
+
+	// Fixed seed, fixed schedule: ~200 arrivals over ~1s of mixed
+	// register/apply/stream traffic.
+	const seed = 20250808
+	sched := loadgen.BuildSchedule(loadgen.NewPoisson(200, 200, seed), loadgen.WorkloadOptions{
+		Mix:  loadgen.Mix{Apply: 8, Stream: 2, Register: 1},
+		Rows: loadgen.RowsDist{Min: 10, Max: 80},
+		Seed: seed,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := loadgen.Run(ctx, tgt, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := loadgen.Summarize(res)
+
+	if s.Errors != 0 {
+		for _, sm := range res.Samples {
+			if !sm.OK && sm.Status != 429 {
+				t.Logf("failed sample: op=%v status=%d err=%s", sm.Op, sm.Status, sm.Err)
+			}
+		}
+		t.Fatalf("%d transport/protocol errors in smoke run: %+v", s.Errors, s)
+	}
+	if s.OK+s.Rejected != s.Arrivals {
+		t.Fatalf("OK %d + 429 %d != arrivals %d", s.OK, s.Rejected, s.Arrivals)
+	}
+	if s.OK == 0 {
+		t.Fatalf("nothing succeeded: %+v", s)
+	}
+	// Generous p99 budget: an in-process httptest round trip over
+	// 10–80-row columns sits well under 100ms even on a loaded CI box;
+	// 2s only catches a wedged server.
+	if s.P99MS > 2000 {
+		t.Fatalf("smoke p99 = %.1fms over the 2000ms budget: %+v", s.P99MS, s)
+	}
+	if s.GoodputRowsPerSec <= 0 {
+		t.Fatalf("no goodput measured: %+v", s)
+	}
+}
+
+// TestLoadSmokeTraceReplay pins the determinism contract end to end at
+// the daemon: the same trace and seed produce the same request sequence
+// (fingerprint equality), and replaying it against the live handler
+// accounts for every arrival.
+func TestLoadSmokeTraceReplay(t *testing.T) {
+	baseURL, id := startStressServer(t, 8)
+	records := []loadgen.TraceRecord{
+		{At: 0, Op: loadgen.OpApply, Rows: 12},
+		{At: 5 * time.Millisecond, Op: loadgen.OpStream, Rows: 40},
+		{At: 10 * time.Millisecond, Op: loadgen.OpApply, Rows: 7},
+		{At: 20 * time.Millisecond, Op: loadgen.OpRegister, Rows: 6},
+		{At: 30 * time.Millisecond, Op: loadgen.OpStream, Rows: 25},
+	}
+	a := loadgen.ScheduleFromTrace(records, 99, 6)
+	b := loadgen.ScheduleFromTrace(records, 99, 6)
+	if loadgen.Fingerprint(a) != loadgen.Fingerprint(b) {
+		t.Fatal("trace replay is not deterministic")
+	}
+	res, err := loadgen.Run(context.Background(), loadgen.Target{
+		BaseURL: baseURL, ProgramID: id, Client: loadgen.NewClient(10 * time.Second),
+	}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := loadgen.Summarize(res)
+	if s.Errors != 0 || s.OK+s.Rejected != len(records) {
+		t.Fatalf("trace replay summary = %+v", s)
+	}
+}

@@ -22,11 +22,20 @@
 // request counts) in the Prometheus text exposition format with no
 // third-party dependency.
 //
-// Concurrent streaming applies are capped by -max-streams (default 2× the
-// CPU count): each stream holds a chunk window of memory, so unbounded
-// admission would defeat the engine's bounded-memory guarantee. Requests
-// over the cap get 429 with a Retry-After header and the uniform error
-// envelope.
+// Concurrent streaming applies pass an admission policy (-admission):
+// the default semaphore caps streams in flight at -max-streams (default
+// 2× the CPU count) — each stream holds a chunk window of memory, so
+// unbounded admission would defeat the engine's bounded-memory guarantee
+// — while -admission=tokenbucket admits at a sustained -admission-rate
+// streams/s with an -admission-burst allowance, trading the hard memory
+// bound for burst absorption after idle periods. Rejected requests get
+// 429 with the uniform error envelope and a Retry-After header derived
+// from an EWMA of recent stream durations (floor 1s, cap 30s), so the
+// backoff hint tracks actual load. Both sides of every decision are
+// counted in /v1/stats and /metrics (clx_streams_admitted_total,
+// clx_streams_rejected_total), so a load generator can reconcile its
+// observed 200/429 split exactly against the server's accounting —
+// clxload's A/B mode does.
 //
 // With -pprof <addr> the daemon additionally serves net/http/pprof on that
 // address (kept off the API port so profile streaming bypasses its
@@ -100,9 +109,25 @@ func main() {
 		"structured request-log format: text or json")
 	streams := flag.Int("max-streams", maxStreams,
 		"concurrent streaming-apply cap; requests over it get 429 + Retry-After")
+	admissionFlag := flag.String("admission", admissionMode,
+		"streaming admission policy: semaphore (cap in-flight streams at -max-streams) "+
+			"or tokenbucket (admit at -admission-rate with -admission-burst)")
+	admissionRateFlag := flag.Float64("admission-rate", admissionRate,
+		"tokenbucket admission: sustained streams/sec admitted")
+	admissionBurstFlag := flag.Float64("admission-burst", 0,
+		"tokenbucket admission: burst capacity in streams (0 = 2 x -max-streams)")
 	flag.Parse()
 	srvOpts.Workers = *workers
 	maxStreams = *streams
+	admissionMode = *admissionFlag
+	admissionRate = *admissionRateFlag
+	admissionBurst = *admissionBurstFlag
+	if admissionBurst <= 0 {
+		admissionBurst = float64(2 * maxStreams)
+	}
+	if _, err := newAdmissionPolicy(admissionMode, maxStreams, admissionRate, admissionBurst); err != nil {
+		log.Fatal("clxd: ", err)
+	}
 	if *pprofAddr != "" {
 		// A separate listener so profiling endpoints never share the API
 		// port (or its timeouts — CPU profiles stream for 30s+).
@@ -161,27 +186,44 @@ func main() {
 // columns share prepared matchers across handlers regardless of fan-out.
 var srvOpts = clx.DefaultOptions()
 
-// maxStreams caps concurrent streaming applies. Each stream holds up to
-// chunk × MaxInFlight rows, so admission must be bounded for the engine's
-// fixed-memory guarantee to survive a request burst. ~2 streams per CPU
-// keeps the workers busy without stacking windows. A var so the flag and
-// tests can override it before newServer.
+// maxStreams caps concurrent streaming applies under the semaphore
+// policy. Each stream holds up to chunk × MaxInFlight rows, so admission
+// must be bounded for the engine's fixed-memory guarantee to survive a
+// request burst. ~2 streams per CPU keeps the workers busy without
+// stacking windows. A var so the flag and tests can override it before
+// newServer.
 var maxStreams = 2 * runtime.GOMAXPROCS(0)
 
+// Admission policy selection (see admission.go). Vars so the flags and
+// tests can override them before newServer; main validates the mode.
+var (
+	admissionMode  = "semaphore"
+	admissionRate  = 100.0 // tokenbucket: sustained streams/sec
+	admissionBurst = 0.0   // tokenbucket: burst size (<=0: 2 x maxStreams)
+)
+
 // server carries the shared daemon state: the program registry, the
-// request logger, and the streaming admission semaphore.
+// request logger, the streaming admission policy, and the stream-duration
+// EWMA behind the Retry-After hint.
 type server struct {
-	store     *progstore.Store
-	logger    *obs.Logger // nil logs nothing (tests)
-	streamSem chan struct{}
+	store      *progstore.Store
+	logger     *obs.Logger // nil logs nothing (tests)
+	admission  admissionPolicy
+	streamEWMA durationEWMA
 }
 
 func newServer(st *progstore.Store) *server {
-	n := maxStreams
-	if n < 1 {
-		n = 1
+	burst := admissionBurst
+	if burst <= 0 {
+		burst = float64(2 * maxStreams)
 	}
-	return &server{store: st, streamSem: make(chan struct{}, n)}
+	pol, err := newAdmissionPolicy(admissionMode, maxStreams, admissionRate, burst)
+	if err != nil {
+		// main validates the flag before newServer; reaching this is a
+		// programmer error in tests.
+		panic(err)
+	}
+	return &server{store: st, admission: pol}
 }
 
 // handler is the complete daemon handler: the route mux wrapped in the
@@ -194,7 +236,7 @@ func (s *server) mux() *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"ok":true}`)
 	})
-	mux.HandleFunc("GET /v1/stats", handleStats)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.Handle("GET /metrics", obs.Handler())
 	mux.HandleFunc("POST /v1/cluster", handleCluster)
 	mux.HandleFunc("POST /v1/transform", handleTransform)
@@ -213,20 +255,47 @@ func (s *server) mux() *http.ServeMux {
 // deployment scrapes to watch the daemon — the compiled-matcher cache
 // (hit/miss/evict), the knob bounding memory growth on servers that see
 // many distinct programs, the streaming bulk-apply totals (streams, rows,
-// chunks, flagged, errors, peak in-flight window), and the automaton
-// compilation totals: a nonzero fallback count means some loaded programs
-// apply through the backtracking engine instead of the fused automaton.
+// chunks, flagged, errors, peak in-flight window), the automaton
+// compilation totals (a nonzero fallback count means some loaded programs
+// apply through the backtracking engine instead of the fused automaton),
+// and the streaming admission ledger: which policy is in force and both
+// sides of every decision, so a load generator's observed 200/429 split
+// reconciles exactly against the server.
 type statsResponse struct {
 	MatcherCache rematch.CacheStats `json:"matcher_cache"`
 	Streaming    stream.Counters    `json:"streaming"`
 	Automaton    automaton.Counters `json:"automaton"`
+	Admission    admissionStats     `json:"admission"`
 }
 
-func handleStats(w http.ResponseWriter, r *http.Request) {
+// admissionStats is the admission section of /v1/stats.
+type admissionStats struct {
+	// Policy is the -admission mode in force.
+	Policy string `json:"policy"`
+	// Admitted and Rejected count every decision since process start;
+	// admitted + rejected equals the streaming requests that reached
+	// admission, and rejected equals the 429s clients saw.
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	// InFlight is the clx_streams_in_flight gauge.
+	InFlight int64 `json:"in_flight"`
+	// RetryAfterSeconds is the hint the next 429 would carry (EWMA of
+	// recent stream durations, floor 1s, cap 30s).
+	RetryAfterSeconds int `json:"retry_after_seconds"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
 		MatcherCache: rematch.Stats(),
 		Streaming:    stream.GlobalStats(),
 		Automaton:    automaton.GlobalStats(),
+		Admission: admissionStats{
+			Policy:            s.admission.Name(),
+			Admitted:          streamsAdmitted.Value(),
+			Rejected:          streamsRejected.Value(),
+			InFlight:          streamsInFlight.Value(),
+			RetryAfterSeconds: s.streamEWMA.retryAfterSeconds(),
+		},
 	})
 }
 

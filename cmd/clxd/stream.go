@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"clx/internal/progstore"
 	"clx/internal/stream"
@@ -61,21 +62,30 @@ func (s *server) handleProgramApplyStream(w http.ResponseWriter, r *http.Request
 		return
 	}
 	// Admission control: each stream pins a chunk × MaxInFlight window of
-	// memory for its whole lifetime, so concurrent streams are capped. The
-	// acquire is non-blocking — turning a burst away immediately with 429
-	// beats queueing it against the server's write timeout.
-	select {
-	case s.streamSem <- struct{}{}:
-	default:
+	// memory for its whole lifetime, so admission is bounded by the
+	// configured policy (semaphore or token bucket — see admission.go).
+	// The decision is non-blocking — turning a burst away immediately
+	// with 429 beats queueing it against the server's write timeout. The
+	// Retry-After hint is an EWMA of recent stream durations: roughly
+	// when the next slot or token frees, instead of a hardcoded guess.
+	release, admitted := s.admission.Admit()
+	if !admitted {
 		streamsRejected.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.streamEWMA.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests,
-			fmt.Errorf("too many concurrent streams (limit %d); retry later", cap(s.streamSem)))
+			fmt.Errorf("too many concurrent streams (%s admission); retry later", s.admission.Name()))
 		return
 	}
-	defer func() { <-s.streamSem }()
+	streamsAdmitted.Inc()
+	defer release()
 	streamsInFlight.Add(1)
 	defer streamsInFlight.Add(-1)
+	streamStart := time.Now()
+	defer func() {
+		d := time.Since(streamStart)
+		s.streamEWMA.Observe(d)
+		streamReqDur.Observe(d)
+	}()
 	q := r.URL.Query()
 	chunk, err := intParam(q, "chunk", stream.DefaultChunkSize)
 	if err != nil {

@@ -1,0 +1,140 @@
+// Daemon lifecycle for self-driving runs: clxload can spawn the clxd
+// binary it is told about (-clxd), wait for /healthz, and tear it down
+// with SIGTERM when the measurement is done. The A/B mode depends on
+// this — comparing admission policies honestly means restarting the
+// daemon per policy so each starts from zero counters and an empty
+// bucket, not flipping a flag on a warm process.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"syscall"
+	"time"
+)
+
+// daemonConfig is everything a spawned clxd run varies.
+type daemonConfig struct {
+	// Binary is the clxd executable path (-clxd).
+	Binary string
+	// MaxStreams, Policy, Rate, Burst map to -max-streams, -admission,
+	// -admission-rate, -admission-burst.
+	MaxStreams int
+	Policy     string
+	Rate       float64
+	Burst      float64
+}
+
+// daemon is a running clxd child process.
+type daemon struct {
+	cmd     *exec.Cmd
+	BaseURL string
+}
+
+// freePort asks the kernel for an unused TCP port on loopback.
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}
+
+// startDaemon launches clxd on a free loopback port and blocks until
+// /healthz answers (or a 10s deadline passes and the child is killed).
+func startDaemon(cfg daemonConfig) (*daemon, error) {
+	port, err := freePort()
+	if err != nil {
+		return nil, fmt.Errorf("clxload: no free port: %w", err)
+	}
+	addr := "127.0.0.1:" + strconv.Itoa(port)
+	args := []string{
+		"-addr", addr,
+		"-max-streams", strconv.Itoa(cfg.MaxStreams),
+		"-admission", cfg.Policy,
+		"-admission-rate", strconv.FormatFloat(cfg.Rate, 'f', -1, 64),
+		"-admission-burst", strconv.FormatFloat(cfg.Burst, 'f', -1, 64),
+	}
+	cmd := exec.Command(cfg.Binary, args...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = os.Stderr // daemon logs are useful when a run goes sideways
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("clxload: start %s: %w", cfg.Binary, err)
+	}
+	d := &daemon{cmd: cmd, BaseURL: "http://" + addr}
+	if err := waitHealthy(d.BaseURL, 10*time.Second); err != nil {
+		d.Stop()
+		return nil, err
+	}
+	return d, nil
+}
+
+// waitHealthy polls GET /healthz until it returns 200.
+func waitHealthy(baseURL string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	client := &http.Client{Timeout: time.Second}
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(baseURL + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("clxload: daemon at %s never became healthy", baseURL)
+}
+
+// Stop terminates the daemon: SIGTERM for the graceful path (it flushes
+// the registry WAL), escalating to SIGKILL after 5s.
+func (d *daemon) Stop() {
+	if d.cmd.Process == nil {
+		return
+	}
+	_ = d.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { d.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		_ = d.cmd.Process.Kill()
+		<-done
+	}
+}
+
+// admissionSnapshot is the /v1/stats admission section clxload
+// reconciles against.
+type admissionSnapshot struct {
+	Policy            string `json:"policy"`
+	Admitted          int64  `json:"admitted"`
+	Rejected          int64  `json:"rejected"`
+	InFlight          int64  `json:"in_flight"`
+	RetryAfterSeconds int    `json:"retry_after_seconds"`
+}
+
+// fetchAdmissionStats reads the admission counters from /v1/stats.
+func fetchAdmissionStats(client *http.Client, baseURL string) (admissionSnapshot, error) {
+	var payload struct {
+		Admission admissionSnapshot `json:"admission"`
+	}
+	resp, err := client.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return admissionSnapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return admissionSnapshot{}, fmt.Errorf("clxload: /v1/stats status %d", resp.StatusCode)
+	}
+	if err := jsonDecode(resp.Body, &payload); err != nil {
+		return admissionSnapshot{}, fmt.Errorf("clxload: /v1/stats decode: %w", err)
+	}
+	return payload.Admission, nil
+}

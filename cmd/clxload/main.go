@@ -1,0 +1,465 @@
+// Command clxload is the open-loop load-generation and capacity harness
+// for clxd: it drives a real daemon over HTTP with seeded arrival
+// processes from internal/loadgen and reports what the server actually
+// delivered — per-rate p50/p95/p99 latency, goodput in transformed
+// rows/s, error and 429 rates — instead of what the client asked for.
+//
+//	clxload -clxd ./bin/clxd -rates 50,100,200        rate sweep, median of -reps
+//	clxload -addr http://127.0.0.1:8080 -rates 100    drive an already-running daemon
+//	clxload -clxd ./bin/clxd -knee -slo-p99 250ms     binary-search the saturation rate
+//	clxload -clxd ./bin/clxd -ab                      semaphore vs tokenbucket under bursts
+//	clxload -clxd ./bin/clxd -trace arrivals.csv      deterministic trace replay
+//
+// The generator is open-loop: arrivals fire on schedule no matter how
+// the server is doing, which is what exposes the queueing cliff a
+// closed-loop client hides. Every run is seeded and reproducible; the
+// knee mode bisects offered rate for the highest rate whose p99 still
+// meets -slo-p99; the A/B mode restarts the daemon once per admission
+// policy, replays the identical bursty stream-only schedule against
+// both, and reconciles the client-observed 200/429 split exactly
+// against the server's admitted/rejected counters from /v1/stats.
+// Results land in BENCH_load.json (-out) stamped with build provenance.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"clx/internal/dataset"
+	"clx/internal/loadgen"
+	"clx/internal/provenance"
+)
+
+// loadConfig echoes the knobs of a run into the report, so a committed
+// BENCH_load.json is interpretable without the command line that made it.
+type loadConfig struct {
+	Process    string  `json:"process"`
+	Mix        string  `json:"mix"`
+	RowsMin    int     `json:"rows_min"`
+	RowsMax    int     `json:"rows_max"`
+	Formats    int     `json:"formats"`
+	Seed       int64   `json:"seed"`
+	DurationS  float64 `json:"duration_s"`
+	Reps       int     `json:"reps"`
+	MaxStreams int     `json:"max_streams"`
+	Trace      string  `json:"trace,omitempty"`
+}
+
+// rateResult is one sweep point: the median rep plus every rep, so the
+// spread is inspectable when a number looks off.
+type rateResult struct {
+	Rate   float64           `json:"rate"`
+	Median loadgen.Summary   `json:"median"`
+	Reps   []loadgen.Summary `json:"reps"`
+}
+
+// abPolicyResult is one arm of the admission A/B: the run summary plus
+// both sides of the accounting. Reconciled is the acceptance criterion —
+// server admitted == client 200s and server rejected == client 429s,
+// exactly.
+type abPolicyResult struct {
+	Policy         string          `json:"policy"`
+	Summary        loadgen.Summary `json:"summary"`
+	ServerAdmitted int64           `json:"server_admitted"`
+	ServerRejected int64           `json:"server_rejected"`
+	ClientOK       int             `json:"client_ok"`
+	Client429      int             `json:"client_429"`
+	Reconciled     bool            `json:"reconciled"`
+}
+
+// abResult is the full A/B: both policies under the identical bursty
+// stream-only schedule.
+type abResult struct {
+	Process  string           `json:"process"`
+	MeanRate float64          `json:"mean_rate"`
+	Arrivals int              `json:"arrivals"`
+	Policies []abPolicyResult `json:"policies"`
+}
+
+// loadReport is BENCH_load.json.
+type loadReport struct {
+	Provenance provenance.Provenance `json:"provenance"`
+	Config     loadConfig            `json:"config"`
+	Sweep      []rateResult          `json:"sweep,omitempty"`
+	Knee       *loadgen.KneeResult   `json:"knee,omitempty"`
+	AB         *abResult             `json:"ab,omitempty"`
+}
+
+func main() {
+	var (
+		clxdBin  = flag.String("clxd", "", "clxd binary to spawn per run (empty: drive -addr instead)")
+		addr     = flag.String("addr", "", "base URL of an already-running clxd (ignored when -clxd is set)")
+		rates    = flag.String("rates", "50,100,200", "comma-separated arrival rates (req/s) to sweep")
+		duration = flag.Duration("duration", 2*time.Second, "schedule length per rep")
+		reps     = flag.Int("reps", 3, "repetitions per rate; the median by p99 is reported")
+		process  = flag.String("process", "poisson", "arrival process: poisson, fixed, or bursty")
+		traceF   = flag.String("trace", "", "CSV trace to replay instead of a rate sweep (offset_ms,op,rows)")
+		mixF     = flag.String("mix", "8:2:1", "op mix as apply:stream:register weights")
+		rowsMin  = flag.Int("rows-min", 20, "minimum rows per request")
+		rowsMax  = flag.Int("rows-max", 200, "maximum rows per request")
+		formats  = flag.Int("formats", 6, "phone-format variety per request column (1..6)")
+		seed     = flag.Int64("seed", 42, "seed for arrivals, mix draws, and payload bytes")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+		sloP99   = flag.Duration("slo-p99", 250*time.Millisecond, "p99 SLO for -knee")
+		knee     = flag.Bool("knee", false, "binary-search the saturation rate for -slo-p99")
+		kneeLo   = flag.Float64("knee-lo", 0, "knee bracket low rate (0: min of -rates)")
+		kneeHi   = flag.Float64("knee-hi", 0, "knee bracket high rate (0: 4 x max of -rates)")
+		ab       = flag.Bool("ab", false, "A/B semaphore vs tokenbucket under bursty streams (needs -clxd)")
+		abRate   = flag.Float64("ab-rate", 0, "mean arrival rate of the A/B schedule (0: max of -rates)")
+		maxStr   = flag.Int("max-streams", 8, "-max-streams for spawned daemons (fixed for reproducibility)")
+		admRate  = flag.Float64("admission-rate", 50, "tokenbucket -admission-rate for spawned daemons")
+		admBurst = flag.Float64("admission-burst", 0, "tokenbucket -admission-burst (0: clxd default)")
+		out      = flag.String("out", "BENCH_load.json", "report path ('' skips writing)")
+	)
+	flag.Parse()
+	if err := run(cliOptions{
+		ClxdBin: *clxdBin, Addr: *addr, Rates: *rates, Duration: *duration,
+		Reps: *reps, Process: *process, Trace: *traceF, Mix: *mixF,
+		RowsMin: *rowsMin, RowsMax: *rowsMax, Formats: *formats, Seed: *seed,
+		Timeout: *timeout, SLOP99: *sloP99, Knee: *knee, KneeLo: *kneeLo,
+		KneeHi: *kneeHi, AB: *ab, ABRate: *abRate, MaxStreams: *maxStr,
+		AdmissionRate: *admRate, AdmissionBurst: *admBurst, Out: *out,
+	}, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "clxload:", err)
+		os.Exit(1)
+	}
+}
+
+// cliOptions carries the parsed flags; a struct so tests can drive run
+// without a flag set.
+type cliOptions struct {
+	ClxdBin, Addr  string
+	Rates          string
+	Duration       time.Duration
+	Reps           int
+	Process        string
+	Trace          string
+	Mix            string
+	RowsMin        int
+	RowsMax        int
+	Formats        int
+	Seed           int64
+	Timeout        time.Duration
+	SLOP99         time.Duration
+	Knee           bool
+	KneeLo, KneeHi float64
+	AB             bool
+	ABRate         float64
+	MaxStreams     int
+	AdmissionRate  float64
+	AdmissionBurst float64
+	Out            string
+}
+
+// run is the whole harness behind the flag parse.
+func run(opt cliOptions, w io.Writer) error {
+	if opt.ClxdBin == "" && opt.Addr == "" {
+		return fmt.Errorf("need -clxd (spawn a daemon) or -addr (drive a running one)")
+	}
+	rates, err := parseRates(opt.Rates)
+	if err != nil {
+		return err
+	}
+	mix, err := loadgen.ParseMix(opt.Mix)
+	if err != nil {
+		return err
+	}
+	wopts := loadgen.WorkloadOptions{
+		Mix:     mix,
+		Rows:    loadgen.RowsDist{Min: opt.RowsMin, Max: opt.RowsMax},
+		Formats: opt.Formats,
+		Seed:    opt.Seed,
+	}
+	report := loadReport{
+		Config: loadConfig{
+			Process: opt.Process, Mix: opt.Mix, RowsMin: opt.RowsMin,
+			RowsMax: opt.RowsMax, Formats: opt.Formats, Seed: opt.Seed,
+			DurationS: opt.Duration.Seconds(), Reps: opt.Reps,
+			MaxStreams: opt.MaxStreams, Trace: opt.Trace,
+		},
+	}
+
+	// One daemon serves the sweep, trace, and knee phases; the A/B spawns
+	// its own pair so each policy starts cold.
+	tgt, stop, err := acquireTarget(opt, "semaphore")
+	if err != nil {
+		return err
+	}
+	runSchedule := func(sched []loadgen.Request) (loadgen.Summary, error) {
+		res, err := loadgen.Run(context.Background(), tgt, sched)
+		if err != nil {
+			return loadgen.Summary{}, err
+		}
+		return loadgen.Summarize(res), nil
+	}
+
+	if opt.Trace != "" {
+		// Trace replay: the trace fixes the schedule; rates are ignored.
+		f, err := os.Open(opt.Trace)
+		if err != nil {
+			stop()
+			return err
+		}
+		records, err := loadgen.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			stop()
+			return err
+		}
+		sched := loadgen.ScheduleFromTrace(records, opt.Seed, opt.Formats)
+		s, err := runSchedule(sched)
+		if err != nil {
+			stop()
+			return err
+		}
+		s.Process, s.OfferedRate = "trace", traceRate(records)
+		report.Sweep = append(report.Sweep, rateResult{
+			Rate: s.OfferedRate, Median: s, Reps: []loadgen.Summary{s},
+		})
+	} else {
+		for _, rate := range rates {
+			var repSums []loadgen.Summary
+			for rep := 0; rep < opt.Reps; rep++ {
+				// Each rep gets its own derived seed, so reps differ while
+				// the whole sweep stays a pure function of -seed.
+				o := wopts
+				o.Seed = opt.Seed + int64(rep)*1009
+				sched, err := buildFor(opt.Process, rate, opt.Duration, o)
+				if err != nil {
+					stop()
+					return err
+				}
+				s, err := runSchedule(sched)
+				if err != nil {
+					stop()
+					return err
+				}
+				s.Process, s.OfferedRate = opt.Process, rate
+				repSums = append(repSums, s)
+			}
+			med := loadgen.MedianByP99(repSums)
+			report.Sweep = append(report.Sweep, rateResult{Rate: rate, Median: med, Reps: repSums})
+			printSummary(w, med)
+		}
+	}
+
+	if opt.Knee {
+		lo, hi := opt.KneeLo, opt.KneeHi
+		if lo <= 0 {
+			lo = rates[0]
+		}
+		if hi <= 0 {
+			hi = 4 * rates[len(rates)-1]
+		}
+		fmt.Fprintf(w, "\n-- knee search: p99 <= %v over [%.0f, %.0f] req/s --\n", opt.SLOP99, lo, hi)
+		kr := loadgen.FindKnee(func(rate float64) loadgen.Summary {
+			sched, err := buildFor(opt.Process, rate, opt.Duration, wopts)
+			if err != nil {
+				return loadgen.Summary{}
+			}
+			s, err := runSchedule(sched)
+			if err != nil {
+				return loadgen.Summary{}
+			}
+			s.Process, s.OfferedRate = opt.Process, rate
+			fmt.Fprintf(w, "  probe %8.1f req/s: p99 %8.1fms  429 %5.1f%%  err %5.1f%%\n",
+				rate, s.P99MS, 100*s.Rate429, 100*s.ErrorRate)
+			return s
+		}, loadgen.KneeOptions{TargetP99: opt.SLOP99, Lo: lo, Hi: hi})
+		report.Knee = &kr
+		fmt.Fprintf(w, "  saturation: %.1f req/s (bracket [%.1f, %.1f])\n",
+			kr.SaturationRate, kr.BracketLo, kr.BracketHi)
+	}
+	stop()
+
+	if opt.AB {
+		if opt.ClxdBin == "" {
+			return fmt.Errorf("-ab needs -clxd: each policy gets a fresh daemon")
+		}
+		mean := opt.ABRate
+		if mean <= 0 {
+			mean = rates[len(rates)-1]
+		}
+		abr, err := runAB(opt, mean, w)
+		if err != nil {
+			return err
+		}
+		report.AB = abr
+	}
+
+	report.Provenance = provenance.Collect()
+	if opt.Out != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(opt.Out, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", opt.Out)
+	}
+	return nil
+}
+
+// acquireTarget resolves where requests go: spawn the -clxd binary under
+// the given admission policy, or point at -addr. The returned stop tears
+// down a spawned daemon and is a no-op otherwise. Either way the seed
+// program is registered and its id is in the target.
+func acquireTarget(opt cliOptions, policy string) (loadgen.Target, func(), error) {
+	var (
+		baseURL string
+		stop    = func() {}
+	)
+	if opt.ClxdBin != "" {
+		d, err := startDaemon(daemonConfig{
+			Binary: opt.ClxdBin, MaxStreams: opt.MaxStreams,
+			Policy: policy, Rate: opt.AdmissionRate, Burst: opt.AdmissionBurst,
+		})
+		if err != nil {
+			return loadgen.Target{}, nil, err
+		}
+		baseURL, stop = d.BaseURL, d.Stop
+	} else {
+		baseURL = strings.TrimRight(opt.Addr, "/")
+	}
+	tgt := loadgen.Target{BaseURL: baseURL, Client: loadgen.NewClient(opt.Timeout)}
+	seedRows, _ := dataset.Phones(64, opt.Formats, opt.Seed)
+	id, err := loadgen.RegisterSeedProgram(tgt, seedRows)
+	if err != nil {
+		stop()
+		return loadgen.Target{}, nil, fmt.Errorf("seed program: %w", err)
+	}
+	tgt.ProgramID = id
+	return tgt, stop, nil
+}
+
+// runAB replays one bursty stream-only schedule against a fresh daemon
+// per admission policy and reconciles both sides of the accounting.
+func runAB(opt cliOptions, meanRate float64, w io.Writer) (*abResult, error) {
+	// Stream-only: admission only guards the streaming path, so apply and
+	// register arrivals would dilute the comparison.
+	n := arrivals(meanRate, opt.Duration)
+	shape := loadgen.DefaultBurstShape(meanRate)
+	proc := loadgen.NewBursty(shape.BaseRate, shape.BurstRate, shape.OnDur, shape.OffDur, n, opt.Seed)
+	sched := loadgen.BuildSchedule(proc, loadgen.WorkloadOptions{
+		Mix:     loadgen.Mix{Stream: 1},
+		Rows:    loadgen.RowsDist{Min: opt.RowsMin, Max: opt.RowsMax},
+		Formats: opt.Formats,
+		Seed:    opt.Seed,
+	})
+	res := &abResult{Process: "bursty", MeanRate: meanRate, Arrivals: len(sched)}
+	fmt.Fprintf(w, "\n-- admission A/B: bursty streams, mean %.0f req/s, %d arrivals --\n", meanRate, len(sched))
+	for _, policy := range []string{"semaphore", "tokenbucket"} {
+		tgt, stop, err := acquireTarget(opt, policy)
+		if err != nil {
+			return nil, err
+		}
+		before, err := fetchAdmissionStats(tgt.Client, tgt.BaseURL)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		rr, err := loadgen.Run(context.Background(), tgt, sched)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		after, err := fetchAdmissionStats(tgt.Client, tgt.BaseURL)
+		stop()
+		if err != nil {
+			return nil, err
+		}
+		s := loadgen.Summarize(rr)
+		s.Process, s.OfferedRate = "bursty", meanRate
+		pr := abPolicyResult{
+			Policy:         policy,
+			Summary:        s,
+			ServerAdmitted: after.Admitted - before.Admitted,
+			ServerRejected: after.Rejected - before.Rejected,
+			ClientOK:       s.OK,
+			Client429:      s.Rejected,
+		}
+		pr.Reconciled = pr.ServerAdmitted == int64(pr.ClientOK) &&
+			pr.ServerRejected == int64(pr.Client429)
+		res.Policies = append(res.Policies, pr)
+		fmt.Fprintf(w, "  %-11s ok %4d  429 %4d  p99 %8.1fms  goodput %9.0f rows/s  reconciled=%v\n",
+			policy, pr.ClientOK, pr.Client429, s.P99MS, s.GoodputRowsPerSec, pr.Reconciled)
+		if !pr.Reconciled {
+			return nil, fmt.Errorf("%s accounting did not reconcile: server %d/%d vs client %d/%d",
+				policy, pr.ServerAdmitted, pr.ServerRejected, pr.ClientOK, pr.Client429)
+		}
+	}
+	return res, nil
+}
+
+// buildFor assembles a schedule for the named process at the given rate.
+func buildFor(process string, rate float64, d time.Duration, wopts loadgen.WorkloadOptions) ([]loadgen.Request, error) {
+	proc, err := loadgen.ProcessFor(process, rate, arrivals(rate, d), wopts.Seed, loadgen.BurstShape{})
+	if err != nil {
+		return nil, err
+	}
+	return loadgen.BuildSchedule(proc, wopts), nil
+}
+
+// arrivals sizes a schedule to rate/s over d, at least 1.
+func arrivals(rate float64, d time.Duration) int {
+	n := int(rate*d.Seconds() + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// parseRates parses the -rates list into ascending positive rates.
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("rate %q is not a positive number", part)
+		}
+		if len(out) > 0 && v <= out[len(out)-1] {
+			return nil, fmt.Errorf("rates must be ascending (%v after %v)", v, out[len(out)-1])
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no rates given")
+	}
+	return out, nil
+}
+
+// traceRate is a trace's mean arrival rate, for the report's rate column.
+func traceRate(records []loadgen.TraceRecord) float64 {
+	if len(records) == 0 {
+		return 0
+	}
+	span := records[len(records)-1].At.Seconds()
+	if span <= 0 {
+		return float64(len(records))
+	}
+	return float64(len(records)) / span
+}
+
+// printSummary renders one sweep point for the console.
+func printSummary(w io.Writer, s loadgen.Summary) {
+	fmt.Fprintf(w, "%-8s %8.1f req/s  ok %5d  429 %4d  err %3d  p50 %7.1fms  p95 %7.1fms  p99 %7.1fms  goodput %9.0f rows/s\n",
+		s.Process, s.OfferedRate, s.OK, s.Rejected, s.Errors, s.P50MS, s.P95MS, s.P99MS, s.GoodputRowsPerSec)
+}
+
+// jsonDecode decodes strictly enough for the stats endpoint.
+func jsonDecode(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}

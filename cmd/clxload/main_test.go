@@ -1,0 +1,230 @@
+// clxload harness tests against a stub daemon: flag-shape parsing, the
+// end-to-end run() path (sweep, trace replay, knee search, report file),
+// and the /v1/stats decoding the A/B reconciliation depends on. The real
+// spawn-a-clxd path is exercised by `make bench-load`; these tests keep
+// the harness itself honest without building a second binary.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clx/internal/loadgen"
+)
+
+// stubDaemon fakes the clxd surface clxload touches. It answers every
+// op successfully and keeps admission counters so stats reconcile.
+type stubDaemon struct {
+	admitted, rejected atomic.Int64
+	registers          atomic.Int64
+}
+
+func (s *stubDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("POST /v1/programs", func(w http.ResponseWriter, r *http.Request) {
+		s.registers.Add(1)
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprint(w, `{"id":"stub-prog"}`)
+	})
+	mux.HandleFunc("POST /v1/programs/{id}/apply", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"rows":[]}`)
+	})
+	mux.HandleFunc("POST /v1/programs/{id}/apply/stream", func(w http.ResponseWriter, r *http.Request) {
+		s.admitted.Add(1)
+		fmt.Fprint(w, "\"row\"\n{\"done\":true,\"rows\":1}\n")
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"admission":{"policy":"semaphore","admitted":%d,"rejected":%d}}`,
+			s.admitted.Load(), s.rejected.Load())
+	})
+	return mux
+}
+
+func startStub(t *testing.T) (*stubDaemon, string) {
+	t.Helper()
+	stub := &stubDaemon{}
+	srv := httptest.NewServer(stub.handler())
+	t.Cleanup(srv.Close)
+	return stub, srv.URL
+}
+
+// baseOptions is a fast, deterministic configuration against addr.
+func baseOptions(addr string) cliOptions {
+	return cliOptions{
+		Addr: addr, Rates: "200,400", Duration: 200 * time.Millisecond,
+		Reps: 1, Process: "poisson", Mix: "8:2:1", RowsMin: 5, RowsMax: 20,
+		Formats: 6, Seed: 7, Timeout: 5 * time.Second,
+		SLOP99: time.Second, MaxStreams: 8, AdmissionRate: 50, Out: "",
+	}
+}
+
+func TestRunSweepWritesReport(t *testing.T) {
+	_, addr := startStub(t)
+	opt := baseOptions(addr)
+	opt.Out = filepath.Join(t.TempDir(), "BENCH_load.json")
+	var sb strings.Builder
+	if err := run(opt, &sb); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(opt.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, raw)
+	}
+	if len(rep.Sweep) != 2 {
+		t.Fatalf("sweep has %d points, want 2", len(rep.Sweep))
+	}
+	for _, pt := range rep.Sweep {
+		if pt.Median.Errors != 0 || pt.Median.OK == 0 {
+			t.Errorf("rate %.0f: median %+v", pt.Rate, pt.Median)
+		}
+		if pt.Median.Process != "poisson" || pt.Median.OfferedRate != pt.Rate {
+			t.Errorf("rate %.0f: process/rate not stamped: %+v", pt.Rate, pt.Median)
+		}
+	}
+	if rep.Provenance.GoVersion == "" || rep.Provenance.GeneratedUTC == "" {
+		t.Errorf("provenance not stamped: %+v", rep.Provenance)
+	}
+	if rep.Config.Seed != 7 || rep.Config.Reps != 1 {
+		t.Errorf("config not echoed: %+v", rep.Config)
+	}
+	if !strings.Contains(sb.String(), "poisson") {
+		t.Errorf("console output missing sweep lines:\n%s", sb.String())
+	}
+}
+
+func TestRunKnee(t *testing.T) {
+	_, addr := startStub(t)
+	opt := baseOptions(addr)
+	opt.Rates = "100"
+	opt.Knee = true
+	opt.KneeLo, opt.KneeHi = 50, 200
+	var sb strings.Builder
+	var rep loadReport
+	out := filepath.Join(t.TempDir(), "r.json")
+	opt.Out = out
+	if err := run(opt, &sb); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(out)
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Knee == nil || len(rep.Knee.Points) == 0 {
+		t.Fatalf("knee missing from report: %s", raw)
+	}
+	// The stub answers instantly, so the whole bracket passes: Hi is the
+	// reported lower bound.
+	if rep.Knee.SaturationRate != 200 {
+		t.Errorf("saturation = %v, want 200 (stub faster than bracket)", rep.Knee.SaturationRate)
+	}
+}
+
+func TestRunTraceReplay(t *testing.T) {
+	_, addr := startStub(t)
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.csv")
+	if err := os.WriteFile(trace, []byte("offset_ms,op,rows\n0,apply,5\n10,stream,8\n20,apply,3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opt := baseOptions(addr)
+	opt.Trace = trace
+	opt.Out = filepath.Join(dir, "r.json")
+	var sb strings.Builder
+	if err := run(opt, &sb); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(opt.Out)
+	var rep loadReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sweep) != 1 || rep.Sweep[0].Median.Arrivals != 3 {
+		t.Fatalf("trace replay sweep = %+v", rep.Sweep)
+	}
+	if rep.Sweep[0].Median.Process != "trace" {
+		t.Errorf("process = %q, want trace", rep.Sweep[0].Median.Process)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(cliOptions{Rates: "10"}, &strings.Builder{}); err == nil {
+		t.Error("no -clxd and no -addr accepted")
+	}
+	_, addr := startStub(t)
+	opt := baseOptions(addr)
+	opt.AB = true // AB without -clxd must refuse, not silently skip
+	opt.Rates = "50"
+	if err := run(opt, &strings.Builder{}); err == nil ||
+		!strings.Contains(err.Error(), "-ab needs -clxd") {
+		t.Errorf("AB without -clxd: %v", err)
+	}
+	opt = baseOptions(addr)
+	opt.Mix = "bad"
+	if err := run(opt, &strings.Builder{}); err == nil {
+		t.Error("bad mix accepted")
+	}
+	opt = baseOptions(addr)
+	opt.Rates = "10,5"
+	if err := run(opt, &strings.Builder{}); err == nil {
+		t.Error("descending rates accepted")
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	got, err := parseRates(" 50, 100 ,200 ")
+	if err != nil || len(got) != 3 || got[0] != 50 || got[2] != 200 {
+		t.Fatalf("parseRates = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-5", "abc", "100,100", "200,100"} {
+		if _, err := parseRates(bad); err == nil {
+			t.Errorf("parseRates(%q) accepted", bad)
+		}
+	}
+}
+
+func TestArrivalsAndTraceRate(t *testing.T) {
+	if n := arrivals(100, 2*time.Second); n != 200 {
+		t.Errorf("arrivals(100, 2s) = %d", n)
+	}
+	if n := arrivals(0.1, time.Second); n != 1 {
+		t.Errorf("arrivals floor = %d, want 1", n)
+	}
+	recs := []loadgen.TraceRecord{
+		{At: 0, Op: loadgen.OpApply, Rows: 1},
+		{At: 500 * time.Millisecond, Op: loadgen.OpApply, Rows: 1},
+	}
+	if r := traceRate(recs); r != 4 { // 2 arrivals over 0.5s
+		t.Errorf("traceRate = %v, want 4", r)
+	}
+	if r := traceRate(nil); r != 0 {
+		t.Errorf("traceRate(nil) = %v", r)
+	}
+}
+
+func TestFetchAdmissionStats(t *testing.T) {
+	stub, addr := startStub(t)
+	stub.admitted.Store(5)
+	stub.rejected.Store(2)
+	snap, err := fetchAdmissionStats(http.DefaultClient, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Admitted != 5 || snap.Rejected != 2 || snap.Policy != "semaphore" {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}

@@ -1,0 +1,265 @@
+// Package loadgen is the open-loop load-generation subsystem: arrival
+// processes (Poisson, bursty on/off, fixed-rate, deterministic CSV trace
+// replay), workload mixes over the clxd API (register / apply /
+// apply-stream with value-length distributions drawn from
+// internal/dataset), an open-loop HTTP runner, and the latency/goodput
+// summaries clxload persists into BENCH_load.json.
+//
+// Open loop means arrivals are scheduled by the process alone — a slow
+// server does not slow the generator down, it just accumulates in-flight
+// requests. That is the property that makes saturation visible: a
+// closed-loop client self-throttles and reports a flattering latency
+// curve, an open-loop client exposes the queueing cliff. Everything is
+// seeded: the same seed, trace, and options produce byte-identical
+// request sequences (pinned by TestScheduleDeterminism), so a latency
+// regression between two runs is attributable to the server, not the
+// generator.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// ArrivalProcess yields the arrival offsets of an open-loop schedule:
+// each Next call returns the next request's offset from the start of the
+// run, nondecreasing, until the process is exhausted.
+type ArrivalProcess interface {
+	// Next returns the next arrival offset, or ok=false when the process
+	// has emitted every arrival.
+	Next() (at time.Duration, ok bool)
+	// Name identifies the process in reports ("poisson", "bursty", ...).
+	Name() string
+}
+
+// FixedRate emits n arrivals at exactly rate per second — a deterministic
+// uniform spacing, the baseline every stochastic process is compared to.
+type FixedRate struct {
+	interval time.Duration
+	n, i     int
+}
+
+// NewFixedRate builds a fixed-rate process with n arrivals at rate/s.
+func NewFixedRate(rate float64, n int) *FixedRate {
+	if rate <= 0 {
+		panic("loadgen: fixed rate must be positive")
+	}
+	return &FixedRate{interval: time.Duration(float64(time.Second) / rate), n: n}
+}
+
+func (f *FixedRate) Next() (time.Duration, bool) {
+	if f.i >= f.n {
+		return 0, false
+	}
+	at := time.Duration(f.i) * f.interval
+	f.i++
+	return at, true
+}
+
+func (f *FixedRate) Name() string { return "fixed" }
+
+// Poisson emits n arrivals with exponentially distributed inter-arrival
+// times at mean rate per second — the standard open-loop model for
+// independent clients.
+type Poisson struct {
+	rate float64
+	r    *rand.Rand
+	at   time.Duration
+	n, i int
+}
+
+// NewPoisson builds a Poisson process with n arrivals at mean rate/s,
+// seeded deterministically.
+func NewPoisson(rate float64, n int, seed int64) *Poisson {
+	if rate <= 0 {
+		panic("loadgen: poisson rate must be positive")
+	}
+	return &Poisson{rate: rate, r: rand.New(rand.NewSource(seed)), n: n}
+}
+
+func (p *Poisson) Next() (time.Duration, bool) {
+	if p.i >= p.n {
+		return 0, false
+	}
+	p.i++
+	// ExpFloat64 has mean 1; scale to mean inter-arrival 1/rate.
+	p.at += time.Duration(p.r.ExpFloat64() / p.rate * float64(time.Second))
+	return p.at, true
+}
+
+func (p *Poisson) Name() string { return "poisson" }
+
+// Bursty is an on/off modulated Poisson process: during an "on" phase
+// arrivals come at burstRate, during "off" at baseRate (zero allowed —
+// pure silence). This is the process that separates admission policies:
+// a semaphore admits the head of every burst then rejects the tail, a
+// token bucket banks idle-period credit and absorbs bursts up to its
+// burst size.
+type Bursty struct {
+	base, burst float64
+	onDur, off  time.Duration
+	r           *rand.Rand
+	at          time.Duration
+	n, i        int
+}
+
+// NewBursty builds an on/off process with n arrivals: burstRate/s during
+// on phases of onDur, baseRate/s during off phases of offDur, phases
+// alternating from t=0 (on first), seeded deterministically.
+func NewBursty(baseRate, burstRate float64, onDur, offDur time.Duration, n int, seed int64) *Bursty {
+	if burstRate <= 0 {
+		panic("loadgen: burst rate must be positive")
+	}
+	if baseRate < 0 {
+		panic("loadgen: base rate must be non-negative")
+	}
+	if onDur <= 0 || offDur < 0 {
+		panic("loadgen: phase durations must be positive (off may be zero)")
+	}
+	return &Bursty{base: baseRate, burst: burstRate, onDur: onDur, off: offDur,
+		r: rand.New(rand.NewSource(seed)), n: n}
+}
+
+// phaseRate returns the rate in force at offset t.
+func (b *Bursty) phaseRate(t time.Duration) float64 {
+	cycle := b.onDur + b.off
+	if cycle <= 0 {
+		return b.burst
+	}
+	if t%cycle < b.onDur {
+		return b.burst
+	}
+	return b.base
+}
+
+func (b *Bursty) Next() (time.Duration, bool) {
+	if b.i >= b.n {
+		return 0, false
+	}
+	b.i++
+	// Draw exponential inter-arrivals against the rate in force at the
+	// current offset; a zero off-phase rate skips to the next on phase.
+	for {
+		rate := b.phaseRate(b.at)
+		if rate <= 0 {
+			// Silent phase: jump to its end and continue drawing there.
+			cycle := b.onDur + b.off
+			b.at = (b.at/cycle + 1) * cycle
+			continue
+		}
+		step := time.Duration(b.r.ExpFloat64() / rate * float64(time.Second))
+		// If the step crosses a phase boundary, restart the draw at the
+		// boundary (memorylessness makes this exact for the exponential).
+		boundary := b.nextBoundary(b.at)
+		if b.at+step > boundary && b.phaseRate(boundary) != rate {
+			b.at = boundary
+			continue
+		}
+		b.at += step
+		return b.at, true
+	}
+}
+
+// nextBoundary returns the first phase boundary strictly after t.
+func (b *Bursty) nextBoundary(t time.Duration) time.Duration {
+	cycle := b.onDur + b.off
+	into := t % cycle
+	if into < b.onDur {
+		return t - into + b.onDur
+	}
+	return t - into + cycle
+}
+
+func (b *Bursty) Name() string { return "bursty" }
+
+// sliceProcess replays a fixed offset slice — the trace-replay arrival
+// process and the building block for tests.
+type sliceProcess struct {
+	name    string
+	offsets []time.Duration
+	i       int
+}
+
+func (s *sliceProcess) Next() (time.Duration, bool) {
+	if s.i >= len(s.offsets) {
+		return 0, false
+	}
+	at := s.offsets[s.i]
+	s.i++
+	return at, true
+}
+
+func (s *sliceProcess) Name() string { return s.name }
+
+// NewOffsets wraps an explicit, nondecreasing offset slice as an arrival
+// process. It panics on a decreasing sequence — a trace with time going
+// backwards is operator error, not load.
+func NewOffsets(name string, offsets []time.Duration) ArrivalProcess {
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] < offsets[i-1] {
+			panic(fmt.Sprintf("loadgen: offsets decrease at %d (%v after %v)", i, offsets[i], offsets[i-1]))
+		}
+	}
+	return &sliceProcess{name: name, offsets: offsets}
+}
+
+// ProcessFor builds the named arrival process — the factory the clxload
+// flags and the bench harness share. Trace replay does not route through
+// here (it carries its own offsets and ops; see ScheduleFromTrace).
+func ProcessFor(name string, rate float64, n int, seed int64, burst BurstShape) (ArrivalProcess, error) {
+	switch name {
+	case "fixed":
+		return NewFixedRate(rate, n), nil
+	case "poisson":
+		return NewPoisson(rate, n, seed), nil
+	case "bursty":
+		sh := burst
+		if sh.OnDur <= 0 {
+			sh = DefaultBurstShape(rate)
+		}
+		return NewBursty(sh.BaseRate, sh.BurstRate, sh.OnDur, sh.OffDur, n, seed), nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown arrival process %q (want fixed, poisson, or bursty)", name)
+	}
+}
+
+// BurstShape parameterizes the bursty process.
+type BurstShape struct {
+	BaseRate  float64
+	BurstRate float64
+	OnDur     time.Duration
+	OffDur    time.Duration
+}
+
+// DefaultBurstShape derives an on/off shape whose long-run mean is the
+// given rate: 4× the mean during on phases, 250ms on / 750ms off, so a
+// "bursty at R" run is comparable to a "poisson at R" run.
+func DefaultBurstShape(meanRate float64) BurstShape {
+	return BurstShape{
+		BaseRate:  0,
+		BurstRate: 4 * meanRate,
+		OnDur:     250 * time.Millisecond,
+		OffDur:    750 * time.Millisecond,
+	}
+}
+
+// MeanRate reports the long-run arrival rate of the shape.
+func (s BurstShape) MeanRate() float64 {
+	cycle := (s.OnDur + s.OffDur).Seconds()
+	if cycle == 0 {
+		return s.BurstRate
+	}
+	return (s.BurstRate*s.OnDur.Seconds() + s.BaseRate*s.OffDur.Seconds()) / cycle
+}
+
+// arrivalsFor sizes a schedule: the expected arrival count of rate/s
+// over the duration, at least 1.
+func arrivalsFor(rate float64, d time.Duration) int {
+	n := int(math.Round(rate * d.Seconds()))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,141 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func drain(p ArrivalProcess) []time.Duration {
+	var out []time.Duration
+	for {
+		at, ok := p.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, at)
+	}
+}
+
+func TestFixedRateSpacing(t *testing.T) {
+	offs := drain(NewFixedRate(100, 5))
+	if len(offs) != 5 {
+		t.Fatalf("arrivals = %d, want 5", len(offs))
+	}
+	for i, at := range offs {
+		want := time.Duration(i) * 10 * time.Millisecond
+		if at != want {
+			t.Errorf("arrival %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestPoissonDeterministicAndCalibrated(t *testing.T) {
+	a := drain(NewPoisson(1000, 5000, 42))
+	b := drain(NewPoisson(1000, 5000, 42))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at arrival %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := drain(NewPoisson(1000, 5000, 43))
+	if a[100] == c[100] && a[2000] == c[2000] {
+		t.Error("different seeds produced identical offsets")
+	}
+	// Nondecreasing, and the empirical rate is within 5% of nominal over
+	// 5000 draws.
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatalf("offsets decrease at %d", i)
+		}
+	}
+	got := float64(len(a)) / a[len(a)-1].Seconds()
+	if math.Abs(got-1000)/1000 > 0.05 {
+		t.Errorf("empirical rate %.1f/s, want ~1000/s", got)
+	}
+}
+
+func TestBurstyPhases(t *testing.T) {
+	// 100ms on at 2000/s, 100ms off at 0/s: every arrival must land in an
+	// on phase, and the long-run mean must be ~half the burst rate.
+	p := NewBursty(0, 2000, 100*time.Millisecond, 100*time.Millisecond, 2000, 7)
+	offs := drain(p)
+	if len(offs) != 2000 {
+		t.Fatalf("arrivals = %d, want 2000", len(offs))
+	}
+	cycle := 200 * time.Millisecond
+	for i, at := range offs {
+		if at%cycle >= 100*time.Millisecond {
+			t.Fatalf("arrival %d at %v falls in a silent off phase", i, at)
+		}
+		if i > 0 && at < offs[i-1] {
+			t.Fatalf("offsets decrease at %d", i)
+		}
+	}
+	mean := float64(len(offs)) / offs[len(offs)-1].Seconds()
+	if math.Abs(mean-1000)/1000 > 0.10 {
+		t.Errorf("long-run rate %.1f/s, want ~1000/s (2000/s at 50%% duty)", mean)
+	}
+	// Determinism.
+	again := drain(NewBursty(0, 2000, 100*time.Millisecond, 100*time.Millisecond, 2000, 7))
+	for i := range offs {
+		if offs[i] != again[i] {
+			t.Fatalf("same seed diverges at arrival %d", i)
+		}
+	}
+}
+
+func TestBurstyNonzeroBase(t *testing.T) {
+	// With a nonzero off rate both phases carry arrivals.
+	p := NewBursty(100, 4000, 50*time.Millisecond, 150*time.Millisecond, 3000, 9)
+	offs := drain(p)
+	var on, off int
+	cycle := 200 * time.Millisecond
+	for _, at := range offs {
+		if at%cycle < 50*time.Millisecond {
+			on++
+		} else {
+			off++
+		}
+	}
+	if on == 0 || off == 0 {
+		t.Fatalf("on=%d off=%d, want arrivals in both phases", on, off)
+	}
+	if on < off {
+		t.Errorf("on=%d < off=%d despite 40x phase rate", on, off)
+	}
+}
+
+func TestBurstShapeMeanRate(t *testing.T) {
+	sh := DefaultBurstShape(400)
+	if got := sh.MeanRate(); math.Abs(got-400) > 1e-9 {
+		t.Errorf("DefaultBurstShape(400).MeanRate() = %v, want 400", got)
+	}
+}
+
+func TestNewOffsetsRejectsDecreasing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on decreasing offsets")
+		}
+	}()
+	NewOffsets("bad", []time.Duration{time.Second, 0})
+}
+
+func TestProcessForFactory(t *testing.T) {
+	for _, name := range []string{"fixed", "poisson", "bursty"} {
+		p, err := ProcessFor(name, 100, 10, 1, BurstShape{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("ProcessFor(%q).Name() = %q", name, p.Name())
+		}
+		if offs := drain(p); len(offs) != 10 {
+			t.Errorf("%s: arrivals = %d, want 10", name, len(offs))
+		}
+	}
+	if _, err := ProcessFor("warp", 100, 10, 1, BurstShape{}); err == nil {
+		t.Error("unknown process name did not error")
+	}
+}

@@ -1,0 +1,95 @@
+// The saturation-knee finder: a bisection over arrival rate for the
+// highest rate whose p99 still meets the SLO. "Where does it saturate?"
+// gets a measured number instead of a guess: below the knee the server
+// tracks the offered rate with flat percentiles; above it, queueing (or
+// admission rejection) dominates and p99 departs the SLO. The probe
+// callback owns the actual run, so the finder works identically against
+// an httptest server and a spawned daemon.
+package loadgen
+
+import "time"
+
+// KneeOptions configure the search.
+type KneeOptions struct {
+	// TargetP99 is the SLO the knee is measured against.
+	TargetP99 time.Duration
+	// Lo and Hi bracket the search in arrivals/s. Lo is assumed (and
+	// verified) to pass; Hi is expected to fail — if it passes, the
+	// server's knee is above the bracket and Hi is returned as a lower
+	// bound.
+	Lo, Hi float64
+	// Iters is the bisection depth; each iteration costs one probe run.
+	// 0 selects 6 (bracket resolution Hi-Lo over 64).
+	Iters int
+	// MaxErrorRate fails a probe even when its p99 passes: an SLO met by
+	// erroring most requests is not met. 0 selects 0.01.
+	MaxErrorRate float64
+}
+
+// KneePoint is one probe of the search.
+type KneePoint struct {
+	Rate    float64 `json:"rate"`
+	P99MS   float64 `json:"p99_ms"`
+	Rate429 float64 `json:"rate_429"`
+	Errors  float64 `json:"error_rate"`
+	Pass    bool    `json:"pass"`
+}
+
+// KneeResult is the finished search.
+type KneeResult struct {
+	TargetP99MS float64 `json:"target_p99_ms"`
+	// SaturationRate is the highest probed rate that met the SLO (the
+	// bracket's passing edge after bisection).
+	SaturationRate float64 `json:"saturation_rate"`
+	// BracketLo and BracketHi are the final bisection bracket:
+	// saturation lies within [lo, hi].
+	BracketLo float64 `json:"bracket_lo"`
+	BracketHi float64 `json:"bracket_hi"`
+	// Points records every probe in order.
+	Points []KneePoint `json:"points"`
+}
+
+// FindKnee bisects [opt.Lo, opt.Hi] for the saturation rate. probe runs
+// one schedule at the given rate and returns its summary; it is called
+// opt.Iters+2 times at most (both endpoints, then the bisection).
+func FindKnee(probe func(rate float64) Summary, opt KneeOptions) KneeResult {
+	if opt.Iters <= 0 {
+		opt.Iters = 6
+	}
+	if opt.MaxErrorRate == 0 {
+		opt.MaxErrorRate = 0.01
+	}
+	res := KneeResult{TargetP99MS: float64(opt.TargetP99) / float64(time.Millisecond)}
+	pass := func(rate float64) bool {
+		s := probe(rate)
+		ok := s.OK > 0 && s.P99MS <= res.TargetP99MS && s.ErrorRate <= opt.MaxErrorRate
+		res.Points = append(res.Points, KneePoint{
+			Rate: rate, P99MS: s.P99MS, Rate429: s.Rate429, Errors: s.ErrorRate, Pass: ok,
+		})
+		return ok
+	}
+
+	// Endpoints first: they decide whether the bracket even contains the
+	// knee.
+	if pass(opt.Hi) {
+		// The server is faster than the bracket: Hi is a lower bound.
+		res.SaturationRate, res.BracketLo, res.BracketHi = opt.Hi, opt.Hi, opt.Hi
+		return res
+	}
+	if !pass(opt.Lo) {
+		// Saturated below the bracket: no passing rate found.
+		res.SaturationRate, res.BracketLo, res.BracketHi = 0, 0, opt.Lo
+		return res
+	}
+	lo, hi := opt.Lo, opt.Hi
+	for i := 0; i < opt.Iters; i++ {
+		mid := (lo + hi) / 2
+		if pass(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	res.SaturationRate, res.BracketLo, res.BracketHi = lo, lo, hi
+	return res
+}

@@ -1,0 +1,81 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// stepServer simulates a server that meets a 50ms p99 up to capacity and
+// falls off a queueing cliff above it.
+func stepServer(capacity float64) func(rate float64) Summary {
+	return func(rate float64) Summary {
+		s := Summary{OfferedRate: rate, Arrivals: 100, OK: 100}
+		if rate <= capacity {
+			s.P99MS = 20
+		} else {
+			s.P99MS = 500
+		}
+		return s
+	}
+}
+
+func TestFindKneeBisects(t *testing.T) {
+	probes := 0
+	probe := func(rate float64) Summary {
+		probes++
+		return stepServer(700)(rate)
+	}
+	res := FindKnee(probe, KneeOptions{
+		TargetP99: 50 * time.Millisecond, Lo: 100, Hi: 1600, Iters: 8,
+	})
+	if res.SaturationRate < 690 || res.SaturationRate > 700 {
+		t.Errorf("saturation = %v, want within (690, 700]", res.SaturationRate)
+	}
+	if res.BracketLo > 700 || res.BracketHi < 700 {
+		t.Errorf("final bracket [%v, %v] does not contain the knee", res.BracketLo, res.BracketHi)
+	}
+	if probes != 10 { // 2 endpoints + 8 bisections
+		t.Errorf("probes = %d, want 10", probes)
+	}
+	if len(res.Points) != probes {
+		t.Errorf("recorded points = %d, want %d", len(res.Points), probes)
+	}
+}
+
+func TestFindKneeBracketTooLow(t *testing.T) {
+	// Capacity above Hi: the search reports Hi as a lower bound.
+	res := FindKnee(stepServer(5000), KneeOptions{
+		TargetP99: 50 * time.Millisecond, Lo: 100, Hi: 1000, Iters: 4,
+	})
+	if res.SaturationRate != 1000 {
+		t.Errorf("saturation = %v, want Hi=1000 as lower bound", res.SaturationRate)
+	}
+}
+
+func TestFindKneeBracketTooHigh(t *testing.T) {
+	// Capacity below Lo: no passing rate.
+	res := FindKnee(stepServer(50), KneeOptions{
+		TargetP99: 50 * time.Millisecond, Lo: 100, Hi: 1000, Iters: 4,
+	})
+	if res.SaturationRate != 0 {
+		t.Errorf("saturation = %v, want 0 (below bracket)", res.SaturationRate)
+	}
+}
+
+func TestFindKneeErrorRateFailsProbe(t *testing.T) {
+	// p99 passes but errors exceed the cap above capacity 300 — the knee
+	// must respect MaxErrorRate, not latency alone.
+	probe := func(rate float64) Summary {
+		s := Summary{Arrivals: 100, OK: 100, P99MS: 10}
+		if rate > 300 {
+			s.ErrorRate = 0.5
+		}
+		return s
+	}
+	res := FindKnee(probe, KneeOptions{
+		TargetP99: 50 * time.Millisecond, Lo: 100, Hi: 1600, Iters: 8, MaxErrorRate: 0.01,
+	})
+	if res.SaturationRate < 290 || res.SaturationRate > 300 {
+		t.Errorf("saturation = %v, want within (290, 300]", res.SaturationRate)
+	}
+}

@@ -1,0 +1,118 @@
+// Run summaries: the per-rate numbers BENCH_load.json persists. All
+// percentiles are exact (sort + nearest-rank) over the successful
+// samples — at load-test sample counts there is no reason to
+// approximate — and goodput counts only rows that came back transformed,
+// so a run that 429s half its arrivals reports the throughput the
+// clients actually got, not the throughput they asked for.
+package loadgen
+
+import (
+	"sort"
+	"time"
+)
+
+// Summary aggregates one run.
+type Summary struct {
+	// Process and OfferedRate describe the schedule (rate in arrivals/s).
+	Process     string  `json:"process"`
+	OfferedRate float64 `json:"offered_rate"`
+	// Arrivals is the schedule length; AchievedRate is arrivals over the
+	// measured wall time (dispatch jitter makes it differ slightly from
+	// the offered rate).
+	Arrivals     int     `json:"arrivals"`
+	AchievedRate float64 `json:"achieved_rate"`
+	DurationS    float64 `json:"duration_s"`
+	// OK / Rejected / Errors partition the samples: 2xx-and-complete,
+	// 429, everything else (transport errors, 5xx, broken streams).
+	OK       int `json:"ok"`
+	Rejected int `json:"rejected_429"`
+	Errors   int `json:"errors"`
+	// Latency percentiles over successful requests, in milliseconds.
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	// GoodputRowsPerSec is transformed rows per second of wall time
+	// (apply + stream rows on successful requests; register rows are
+	// synthesis input, not transformation output).
+	GoodputRowsPerSec float64 `json:"goodput_rows_per_sec"`
+	// Rate429 and ErrorRate are fractions of arrivals.
+	Rate429   float64 `json:"rate_429"`
+	ErrorRate float64 `json:"error_rate"`
+}
+
+// Summarize reduces a run to its summary. Process and OfferedRate are
+// the caller's to fill (the result does not know its schedule's shape).
+func Summarize(res RunResult) Summary {
+	s := Summary{
+		Arrivals:  len(res.Samples),
+		DurationS: res.Wall.Seconds(),
+	}
+	if res.Wall > 0 {
+		s.AchievedRate = float64(len(res.Samples)) / res.Wall.Seconds()
+	}
+	var okLat []time.Duration
+	var latSum time.Duration
+	var goodRows int
+	for _, sm := range res.Samples {
+		switch {
+		case sm.OK:
+			s.OK++
+			okLat = append(okLat, sm.Latency)
+			latSum += sm.Latency
+			if sm.Op == OpApply || sm.Op == OpStream {
+				goodRows += sm.Rows
+			}
+		case sm.Status == 429:
+			s.Rejected++
+		default:
+			s.Errors++
+		}
+	}
+	if n := len(res.Samples); n > 0 {
+		s.Rate429 = float64(s.Rejected) / float64(n)
+		s.ErrorRate = float64(s.Errors) / float64(n)
+	}
+	if res.Wall > 0 {
+		s.GoodputRowsPerSec = float64(goodRows) / res.Wall.Seconds()
+	}
+	if len(okLat) > 0 {
+		sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
+		s.P50MS = ms(quantile(okLat, 0.50))
+		s.P95MS = ms(quantile(okLat, 0.95))
+		s.P99MS = ms(quantile(okLat, 0.99))
+		s.MaxMS = ms(okLat[len(okLat)-1])
+		s.MeanMS = ms(latSum / time.Duration(len(okLat)))
+	}
+	return s
+}
+
+// quantile is the nearest-rank quantile of an ascending-sorted slice.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// MedianByP99 picks the median summary of reps by p99 latency — the
+// repo's median-of-N discipline applied to whole runs, so one noisy rep
+// does not write the report.
+func MedianByP99(runs []Summary) Summary {
+	if len(runs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]Summary(nil), runs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].P99MS < sorted[j].P99MS })
+	return sorted[len(sorted)/2]
+}

@@ -1,0 +1,82 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSummarizePartitionsAndPercentiles(t *testing.T) {
+	// 100 samples: 90 OK applies at 1..90ms (10 rows each), 6 rejected
+	// streams, 4 transport errors.
+	res := RunResult{Wall: 2 * time.Second}
+	for i := 1; i <= 90; i++ {
+		res.Samples = append(res.Samples, Sample{
+			Op: OpApply, Rows: 10, Latency: time.Duration(i) * time.Millisecond,
+			Status: 200, OK: true,
+		})
+	}
+	for i := 0; i < 6; i++ {
+		res.Samples = append(res.Samples, Sample{Op: OpStream, Rows: 10, Status: 429})
+	}
+	for i := 0; i < 4; i++ {
+		res.Samples = append(res.Samples, Sample{Op: OpApply, Rows: 10, Err: "conn refused"})
+	}
+	s := Summarize(res)
+	if s.Arrivals != 100 || s.OK != 90 || s.Rejected != 6 || s.Errors != 4 {
+		t.Fatalf("partition = %d/%d/%d of %d", s.OK, s.Rejected, s.Errors, s.Arrivals)
+	}
+	// Nearest-rank over 1..90ms: p50 = 45ms, p95 = 86ms, p99 = 89ms.
+	if s.P50MS != 45 || s.P95MS != 86 || s.P99MS != 89 || s.MaxMS != 90 {
+		t.Errorf("percentiles p50=%v p95=%v p99=%v max=%v", s.P50MS, s.P95MS, s.P99MS, s.MaxMS)
+	}
+	// Goodput: 90 × 10 rows over 2s wall.
+	if s.GoodputRowsPerSec != 450 {
+		t.Errorf("goodput = %v rows/s, want 450", s.GoodputRowsPerSec)
+	}
+	if math.Abs(s.Rate429-0.06) > 1e-9 || math.Abs(s.ErrorRate-0.04) > 1e-9 {
+		t.Errorf("rate429 = %v, errorRate = %v", s.Rate429, s.ErrorRate)
+	}
+	if s.AchievedRate != 50 {
+		t.Errorf("achieved rate = %v, want 50/s", s.AchievedRate)
+	}
+}
+
+func TestSummarizeRegisterRowsExcludedFromGoodput(t *testing.T) {
+	res := RunResult{Wall: time.Second, Samples: []Sample{
+		{Op: OpRegister, Rows: 100, Status: 201, OK: true, Latency: time.Millisecond},
+		{Op: OpApply, Rows: 30, Status: 200, OK: true, Latency: time.Millisecond},
+	}}
+	if s := Summarize(res); s.GoodputRowsPerSec != 30 {
+		t.Errorf("goodput = %v rows/s, want 30 (register rows are not output)", s.GoodputRowsPerSec)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(RunResult{})
+	if s.Arrivals != 0 || s.P99MS != 0 || s.GoodputRowsPerSec != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestMedianByP99(t *testing.T) {
+	runs := []Summary{{P99MS: 30}, {P99MS: 500}, {P99MS: 40}}
+	if got := MedianByP99(runs); got.P99MS != 40 {
+		t.Errorf("median p99 = %v, want 40", got.P99MS)
+	}
+	if got := MedianByP99(nil); got != (Summary{}) {
+		t.Errorf("median of none = %+v", got)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	one := []time.Duration{7 * time.Millisecond}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := quantile(one, q); got != 7*time.Millisecond {
+			t.Errorf("quantile(1 sample, %v) = %v", q, got)
+		}
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("quantile(empty) = %v", got)
+	}
+}

@@ -1,0 +1,256 @@
+// The open-loop runner: fires a schedule at a live clxd over HTTP. The
+// dispatch loop sleeps until each request's arrival offset and launches
+// it in its own goroutine regardless of how many are still in flight —
+// the generator never waits for the server, which is the property that
+// exposes saturation instead of hiding it. Per-request outcomes land in
+// a preallocated sample slice (one writer per index, no locks on the
+// hot path) and are summarized after the run.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Target is the clxd instance a run drives.
+type Target struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// ProgramID is the registered program apply/stream requests hit.
+	ProgramID string
+	// TargetPattern is the synthesis target register requests carry
+	// (compact or NL notation). Empty selects the §7.2 phone target.
+	TargetPattern string
+	// Client is the HTTP client; nil selects a pooled default sized for
+	// open-loop concurrency.
+	Client *http.Client
+}
+
+// DefaultTargetPattern is the §7.2 study target.
+const DefaultTargetPattern = "<D>3'-'<D>3'-'<D>4"
+
+// NewClient builds the default load-test client: connection pooling
+// sized so an open-loop burst does not serialize on idle-conn limits,
+// and a per-request timeout that bounds tail samples without masking
+// multi-second queueing.
+func NewClient(timeout time.Duration) *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 512
+	tr.MaxIdleConnsPerHost = 512
+	return &http.Client{Transport: tr, Timeout: timeout}
+}
+
+// Sample is one request's outcome.
+type Sample struct {
+	// Op and At echo the scheduled request.
+	Op Op
+	At time.Duration
+	// Rows is the payload column size.
+	Rows int
+	// Latency is request issue to full response drain.
+	Latency time.Duration
+	// Status is the HTTP status, 0 on a transport error.
+	Status int
+	// OK means the request fully succeeded: 200/201 and, for streams, a
+	// done trailer.
+	OK bool
+	// Err carries the transport error or protocol diagnosis when !OK.
+	Err string
+}
+
+// RunResult is a completed run: every sample plus the wall time the
+// schedule actually took (dispatch start to last response).
+type RunResult struct {
+	Samples []Sample
+	Wall    time.Duration
+}
+
+// Run fires the schedule open-loop against the target and blocks until
+// every response is in (or ctx is cancelled — in-flight requests are
+// abandoned and recorded as transport errors). The returned error covers
+// only setup problems; per-request failures are samples.
+func Run(ctx context.Context, tgt Target, schedule []Request) (RunResult, error) {
+	if tgt.BaseURL == "" {
+		return RunResult{}, fmt.Errorf("loadgen: target BaseURL is empty")
+	}
+	if tgt.Client == nil {
+		tgt.Client = NewClient(30 * time.Second)
+	}
+	if tgt.TargetPattern == "" {
+		tgt.TargetPattern = DefaultTargetPattern
+	}
+	samples := make([]Sample, len(schedule))
+	var wg sync.WaitGroup
+	start := time.Now()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+dispatch:
+	for i, req := range schedule {
+		if wait := req.At - time.Since(start); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				// Mark the undispatched tail as cancelled and stop dispatching.
+				for j := i; j < len(schedule); j++ {
+					samples[j] = Sample{Op: schedule[j].Op, At: schedule[j].At,
+						Rows: len(schedule[j].Rows), Err: "cancelled before dispatch"}
+				}
+				break dispatch
+			}
+		}
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			samples[i] = fire(ctx, tgt, req)
+		}(i, req)
+	}
+	wg.Wait()
+	return RunResult{Samples: samples, Wall: time.Since(start)}, nil
+}
+
+// fire issues one request and fully drains the response.
+func fire(ctx context.Context, tgt Target, req Request) Sample {
+	s := Sample{Op: req.Op, At: req.At, Rows: len(req.Rows)}
+	var (
+		url  string
+		body io.Reader
+	)
+	switch req.Op {
+	case OpApply:
+		b, _ := json.Marshal(struct {
+			Rows []string `json:"rows"`
+		}{req.Rows})
+		url = tgt.BaseURL + "/v1/programs/" + tgt.ProgramID + "/apply"
+		body = bytes.NewReader(b)
+	case OpStream:
+		url = tgt.BaseURL + "/v1/programs/" + tgt.ProgramID + "/apply/stream"
+		body = strings.NewReader(strings.Join(req.Rows, "\n") + "\n")
+	case OpRegister:
+		b, _ := json.Marshal(struct {
+			Rows   []string `json:"rows"`
+			Target string   `json:"target"`
+			Name   string   `json:"name"`
+		}{req.Rows, tgt.TargetPattern, "loadgen"})
+		url = tgt.BaseURL + "/v1/programs"
+		body = bytes.NewReader(b)
+	default:
+		s.Err = fmt.Sprintf("unknown op %d", req.Op)
+		return s
+	}
+
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, body)
+	if err != nil {
+		s.Err = err.Error()
+		return s
+	}
+	httpReq.Header.Set("Content-Type", contentTypeFor(req.Op))
+	t0 := time.Now()
+	resp, err := tgt.Client.Do(httpReq)
+	if err != nil {
+		s.Latency = time.Since(t0)
+		s.Err = err.Error()
+		return s
+	}
+	respBody, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	s.Latency = time.Since(t0)
+	s.Status = resp.StatusCode
+	if readErr != nil {
+		s.Err = readErr.Error()
+		return s
+	}
+	switch req.Op {
+	case OpStream:
+		if resp.StatusCode == http.StatusOK {
+			if streamDone(respBody) {
+				s.OK = true
+			} else {
+				s.Err = "stream ended without done trailer"
+			}
+		} else if resp.StatusCode != http.StatusTooManyRequests {
+			s.Err = fmt.Sprintf("status %d", resp.StatusCode)
+		}
+	case OpRegister:
+		if resp.StatusCode == http.StatusCreated {
+			s.OK = true
+		} else {
+			s.Err = fmt.Sprintf("status %d", resp.StatusCode)
+		}
+	default:
+		if resp.StatusCode == http.StatusOK {
+			s.OK = true
+		} else if resp.StatusCode != http.StatusTooManyRequests {
+			s.Err = fmt.Sprintf("status %d", resp.StatusCode)
+		}
+	}
+	return s
+}
+
+func contentTypeFor(op Op) string {
+	if op == OpStream {
+		return "text/plain"
+	}
+	return "application/json"
+}
+
+// streamDone reports whether the NDJSON stream body ends in a done
+// trailer frame.
+func streamDone(body []byte) bool {
+	body = bytes.TrimRight(body, "\n")
+	i := bytes.LastIndexByte(body, '\n')
+	last := body[i+1:]
+	var trailer struct {
+		Done bool `json:"done"`
+	}
+	return json.Unmarshal(last, &trailer) == nil && trailer.Done
+}
+
+// RegisterSeedProgram registers the standard phone program the apply and
+// stream ops of a run need, returning its id. Runs share one program:
+// the hot path under test is apply-by-id, not synthesis.
+func RegisterSeedProgram(tgt Target, rows []string) (string, error) {
+	if tgt.Client == nil {
+		tgt.Client = NewClient(30 * time.Second)
+	}
+	if tgt.TargetPattern == "" {
+		tgt.TargetPattern = DefaultTargetPattern
+	}
+	b, _ := json.Marshal(struct {
+		Rows   []string `json:"rows"`
+		Target string   `json:"target"`
+		Name   string   `json:"name"`
+	}{rows, tgt.TargetPattern, "loadgen-seed"})
+	resp, err := tgt.Client.Post(tgt.BaseURL+"/v1/programs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("loadgen: seed register status %d: %s", resp.StatusCode, raw)
+	}
+	var entry struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &entry); err != nil {
+		return "", err
+	}
+	if entry.ID == "" {
+		return "", fmt.Errorf("loadgen: seed register returned no id")
+	}
+	return entry.ID, nil
+}

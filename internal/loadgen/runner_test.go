@@ -1,0 +1,187 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubServer fakes the three clxd endpoints with configurable behavior.
+type stubServer struct {
+	applies, streams, registers atomic.Int64
+	reject429                   atomic.Bool // streams get 429 when set
+	brokenTrailer               atomic.Bool // streams end without done
+}
+
+func (s *stubServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/programs", func(w http.ResponseWriter, r *http.Request) {
+		s.registers.Add(1)
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprintln(w, `{"id":"stub-id","version":1}`)
+	})
+	mux.HandleFunc("POST /v1/programs/{id}/apply", func(w http.ResponseWriter, r *http.Request) {
+		s.applies.Add(1)
+		var req struct {
+			Rows []string `json:"rows"`
+		}
+		body, _ := io.ReadAll(r.Body)
+		if err := json.Unmarshal(body, &req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintf(w, `{"output":%s}`, body)
+	})
+	mux.HandleFunc("POST /v1/programs/{id}/apply/stream", func(w http.ResponseWriter, r *http.Request) {
+		s.streams.Add(1)
+		if s.reject429.Load() {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintln(w, `{"error":"too many concurrent streams"}`)
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		rows := strings.Count(string(body), "\n")
+		for i := 0; i < rows; i++ {
+			fmt.Fprintln(w, `"x"`)
+		}
+		if !s.brokenTrailer.Load() {
+			fmt.Fprintf(w, `{"done":true,"rows":%d}`+"\n", rows)
+		}
+	})
+	return mux
+}
+
+func testSchedule(n int) []Request {
+	return BuildSchedule(NewFixedRate(2000, n), WorkloadOptions{
+		Mix: Mix{Apply: 1, Stream: 1, Register: 1}, Rows: RowsDist{Min: 3, Max: 8}, Seed: 1,
+	})
+}
+
+func TestRunAgainstStub(t *testing.T) {
+	stub := &stubServer{}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+
+	sched := testSchedule(60)
+	res, err := Run(context.Background(), Target{BaseURL: srv.URL, ProgramID: "stub-id"}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(res)
+	if s.Arrivals != 60 || s.OK != 60 || s.Errors != 0 || s.Rejected != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	hits := stub.applies.Load() + stub.streams.Load() + stub.registers.Load()
+	if hits != 60 {
+		t.Fatalf("server saw %d requests, want 60", hits)
+	}
+	if s.P99MS <= 0 || s.GoodputRowsPerSec <= 0 {
+		t.Errorf("p99 = %v, goodput = %v — expected positive", s.P99MS, s.GoodputRowsPerSec)
+	}
+	// Ops and payload sizes survive into samples.
+	for i, sm := range res.Samples {
+		if sm.Op != sched[i].Op || sm.Rows != len(sched[i].Rows) {
+			t.Fatalf("sample %d = {%v %d rows}, schedule has {%v %d rows}",
+				i, sm.Op, sm.Rows, sched[i].Op, len(sched[i].Rows))
+		}
+	}
+}
+
+func TestRunCounts429AsRejected(t *testing.T) {
+	stub := &stubServer{}
+	stub.reject429.Store(true)
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+
+	sched := BuildSchedule(NewFixedRate(2000, 30), WorkloadOptions{
+		Mix: Mix{Stream: 1}, Rows: RowsDist{Min: 3, Max: 3}, Seed: 2,
+	})
+	res, err := Run(context.Background(), Target{BaseURL: srv.URL, ProgramID: "stub-id"}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(res)
+	if s.Rejected != 30 || s.OK != 0 || s.Errors != 0 {
+		t.Fatalf("summary = %+v, want all 30 rejected", s)
+	}
+}
+
+func TestRunBrokenStreamIsError(t *testing.T) {
+	stub := &stubServer{}
+	stub.brokenTrailer.Store(true)
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+
+	sched := BuildSchedule(NewFixedRate(2000, 10), WorkloadOptions{
+		Mix: Mix{Stream: 1}, Rows: RowsDist{Min: 3, Max: 3}, Seed: 3,
+	})
+	res, err := Run(context.Background(), Target{BaseURL: srv.URL, ProgramID: "stub-id"}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(res)
+	if s.Errors != 10 || s.OK != 0 {
+		t.Fatalf("summary = %+v, want 10 errors (no done trailer)", s)
+	}
+}
+
+func TestRunTransportErrors(t *testing.T) {
+	// A closed server: every request is a transport error, none panic.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	srv.Close()
+	res, err := Run(context.Background(), Target{BaseURL: srv.URL, ProgramID: "x"}, testSchedule(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Summarize(res); s.Errors != 5 {
+		t.Fatalf("summary = %+v, want 5 transport errors", s)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	stub := &stubServer{}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+	// A long schedule cancelled early: the tail is marked, Run returns.
+	sched := BuildSchedule(NewFixedRate(10, 100), WorkloadOptions{Seed: 4}) // 10s worth
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	res, err := Run(ctx, Target{BaseURL: srv.URL, ProgramID: "stub-id"}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 100 {
+		t.Fatalf("samples = %d, want 100 (tail marked, not dropped)", len(res.Samples))
+	}
+	s := Summarize(res)
+	if s.OK == 0 || s.Errors == 0 {
+		t.Fatalf("summary = %+v, want some OK and a cancelled tail", s)
+	}
+}
+
+func TestRegisterSeedProgramStub(t *testing.T) {
+	stub := &stubServer{}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+	id, err := RegisterSeedProgram(Target{BaseURL: srv.URL}, []string{"734-422-8073"})
+	if err != nil || id != "stub-id" {
+		t.Fatalf("id = %q, err = %v", id, err)
+	}
+	if stub.registers.Load() != 1 {
+		t.Fatalf("registers = %d", stub.registers.Load())
+	}
+}
+
+func TestRunEmptyBaseURL(t *testing.T) {
+	if _, err := Run(context.Background(), Target{}, nil); err == nil {
+		t.Fatal("no error on empty BaseURL")
+	}
+}

@@ -1,0 +1,113 @@
+// Deterministic trace replay. A trace is a CSV with header
+//
+//	offset_ms,op,rows
+//
+// where offset_ms is the arrival offset from the start of the run
+// (fractional milliseconds allowed, nondecreasing), op is apply, stream,
+// or register, and rows is the request's column size. Replaying a trace
+// reproduces the exact request sequence — offsets, ops, and (given the
+// same seed) payload bytes — so a saved trace is a regression test for
+// the server's latency envelope: same input schedule, comparable output
+// percentiles. WriteTrace inverts ReadTrace, so any generated schedule
+// can be frozen into a trace file.
+package loadgen
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"clx/internal/dataset"
+)
+
+// TraceRecord is one parsed trace line.
+type TraceRecord struct {
+	At   time.Duration
+	Op   Op
+	Rows int
+}
+
+// ReadTrace parses the CSV trace format. The header line is required —
+// a trace without one is almost always a column-order mistake.
+func ReadTrace(r io.Reader) ([]TraceRecord, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: trace header: %w", err)
+	}
+	if header[0] != "offset_ms" || header[1] != "op" || header[2] != "rows" {
+		return nil, fmt.Errorf("loadgen: trace header %v, want offset_ms,op,rows", header)
+	}
+	var out []TraceRecord
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: trace line %d: %w", line, err)
+		}
+		ms, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil || ms < 0 {
+			return nil, fmt.Errorf("loadgen: trace line %d: offset_ms %q is not a non-negative number", line, rec[0])
+		}
+		at := time.Duration(ms * float64(time.Millisecond))
+		if n := len(out); n > 0 && at < out[n-1].At {
+			return nil, fmt.Errorf("loadgen: trace line %d: offset %.3fms decreases", line, ms)
+		}
+		op, err := ParseOp(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: trace line %d: %w", line, err)
+		}
+		rows, err := strconv.Atoi(rec[2])
+		if err != nil || rows < 1 {
+			return nil, fmt.Errorf("loadgen: trace line %d: rows %q is not a positive integer", line, rec[2])
+		}
+		out = append(out, TraceRecord{At: at, Op: op, Rows: rows})
+	}
+}
+
+// WriteTrace renders records in the CSV trace format, header included.
+func WriteTrace(w io.Writer, records []TraceRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"offset_ms", "op", "rows"}); err != nil {
+		return err
+	}
+	for _, rec := range records {
+		ms := strconv.FormatFloat(float64(rec.At)/float64(time.Millisecond), 'f', -1, 64)
+		if err := cw.Write([]string{ms, rec.Op.String(), strconv.Itoa(rec.Rows)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TraceOf freezes a generated schedule into trace records (payload rows
+// collapse to their count; replay regenerates them from the seed).
+func TraceOf(schedule []Request) []TraceRecord {
+	out := make([]TraceRecord, len(schedule))
+	for i, req := range schedule {
+		out[i] = TraceRecord{At: req.At, Op: req.Op, Rows: len(req.Rows)}
+	}
+	return out
+}
+
+// ScheduleFromTrace materializes a trace into a runnable schedule: the
+// trace fixes offsets, ops, and row counts; the seed and format variety
+// fix the payload bytes. The same (trace, seed, formats) triple always
+// yields the same schedule.
+func ScheduleFromTrace(records []TraceRecord, seed int64, formats int) []Request {
+	if formats <= 0 {
+		formats = 6
+	}
+	out := make([]Request, len(records))
+	for i, rec := range records {
+		rows, _ := dataset.Phones(rec.Rows, formats, payloadSeed(seed, i))
+		out[i] = Request{At: rec.At, Op: rec.Op, Rows: rows}
+	}
+	return out
+}

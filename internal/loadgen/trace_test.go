@@ -1,0 +1,71 @@
+package loadgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	records := []TraceRecord{
+		{At: 0, Op: OpApply, Rows: 12},
+		{At: 1500 * time.Microsecond, Op: OpStream, Rows: 300},
+		{At: 2 * time.Second, Op: OpRegister, Rows: 8},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "offset_ms,op,rows\n") {
+		t.Fatalf("missing header: %q", buf.String())
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(records))
+	}
+	for i := range got {
+		if got[i] != records[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], records[i])
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"no header", "0,apply,10\n"},
+		{"wrong header", "time,operation,n\n0,apply,10\n"},
+		{"bad offset", "offset_ms,op,rows\nx,apply,10\n"},
+		{"negative offset", "offset_ms,op,rows\n-3,apply,10\n"},
+		{"decreasing offset", "offset_ms,op,rows\n5,apply,10\n2,apply,10\n"},
+		{"bad op", "offset_ms,op,rows\n0,delete,10\n"},
+		{"bad rows", "offset_ms,op,rows\n0,apply,zero\n"},
+		{"zero rows", "offset_ms,op,rows\n0,apply,0\n"},
+		{"field count", "offset_ms,op,rows\n0,apply\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadTrace(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+func TestTraceOfFreezesSchedule(t *testing.T) {
+	sched := BuildSchedule(NewFixedRate(100, 20), WorkloadOptions{Seed: 3})
+	records := TraceOf(sched)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := ScheduleFromTrace(parsed, 3, 6)
+	if Fingerprint(replayed) != Fingerprint(sched) {
+		t.Fatal("freeze -> write -> read -> replay did not reproduce the schedule bytes")
+	}
+}

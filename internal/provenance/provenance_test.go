@@ -1,0 +1,47 @@
+package provenance
+
+import (
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCollectFields(t *testing.T) {
+	p := Collect()
+	if p.GoVersion == "" || !strings.HasPrefix(p.GoVersion, "go") {
+		t.Errorf("GoVersion = %q", p.GoVersion)
+	}
+	if p.GOOS != runtime.GOOS || p.GOARCH != runtime.GOARCH {
+		t.Errorf("platform = %s/%s, want %s/%s", p.GOOS, p.GOARCH, runtime.GOOS, runtime.GOARCH)
+	}
+	if p.GOMAXPROCS < 1 || p.NumCPU < 1 {
+		t.Errorf("GOMAXPROCS=%d NumCPU=%d, want >= 1", p.GOMAXPROCS, p.NumCPU)
+	}
+	ts, err := time.Parse(time.RFC3339, p.GeneratedUTC)
+	if err != nil {
+		t.Fatalf("GeneratedUTC %q does not parse as RFC 3339: %v", p.GeneratedUTC, err)
+	}
+	if ts.Location() != time.UTC {
+		t.Errorf("GeneratedUTC %q is not UTC", p.GeneratedUTC)
+	}
+	// The repo under test is a git checkout, so one of the two resolution
+	// paths must yield a commit.
+	if p.GitCommit == "" {
+		t.Log("GitCommit empty (no VCS stamp and no git binary?) — tolerated, but unexpected in CI")
+	}
+}
+
+// TestJSONShape pins the embedded field names other tooling greps for.
+func TestJSONShape(t *testing.T) {
+	b, err := json.Marshal(Collect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"go_version"`, `"goos"`, `"goarch"`, `"gomaxprocs"`, `"num_cpu"`, `"generated_utc"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("marshalled provenance missing %s: %s", key, b)
+		}
+	}
+}
