@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: test race gate cover fuzz-smoke apply-parity bench bench-profile pipeline profile bench-store bench-stream bench-obs obs-smoke bench-apply load-smoke bench-load
+.PHONY: test race gate cover fuzz-smoke apply-parity profile-parity bench bench-profile bench-check pipeline profile bench-store bench-stream bench-obs obs-smoke bench-apply load-smoke bench-load
 
 # Tier-1: vet + build + unit tests (ROADMAP.md contract).
 test:
@@ -22,7 +22,7 @@ race:
 # 10s-per-target fuzz smoke over the seed corpora, the automaton-vs-
 # reference apply-parity smoke, the metrics-overhead smoke test, and the
 # load-harness smoke.
-gate: test race cover fuzz-smoke apply-parity obs-smoke load-smoke
+gate: test race cover fuzz-smoke apply-parity profile-parity obs-smoke load-smoke
 
 # Apply-parity smoke: the byte-automaton engine must produce byte-identical
 # output (rows, flagged indices, errors) to the retained backtracking
@@ -30,6 +30,13 @@ gate: test race cover fuzz-smoke apply-parity obs-smoke load-smoke
 # counts, under the race detector.
 apply-parity:
 	$(GO) test -race -run 'TestAutomatonDifferentialBenchSuite' .
+
+# Profile-parity smoke: the sharded, mergeable, incremental profile index
+# must emit byte-identical hierarchies to the reference per-row profiler
+# across shard counts (1/4/16), worker counts (1/2/4/8), and append
+# schedules (all-at-once vs four increments), under the race detector.
+profile-parity:
+	$(GO) test -race -run 'TestShardedIndexMatchesReference|TestProfileAutoCollapse' ./internal/cluster
 
 # Coverage floors: every package listed in scripts/cover_floors.txt must
 # stay at or above its floor.
@@ -57,9 +64,17 @@ pipeline:
 	$(GO) run ./cmd/clxbench -exp pipeline
 
 # Regenerate BENCH_profile.json (counted-profile phase breakdown,
-# rows/sec, allocs/row, distinct-pattern ratio).
+# rows/sec, allocs/row, distinct-pattern ratio, incremental-append
+# speedup; GOMAXPROCS pinned per worker count).
 profile:
 	$(GO) run ./cmd/clxbench -exp profile
+
+# Bench regression check (optional; not part of `gate` — medians on shared
+# hardware are too noisy to gate merges on): re-measure the profile
+# experiment and fail if rows/sec lands more than 15% below the checked-in
+# BENCH_profile.json for any worker count.
+bench-check:
+	$(GO) run ./cmd/clxbench -exp profile -profile-out '' -profile-baseline BENCH_profile.json
 
 # Regenerate BENCH_store.json (program registry: synthesize-and-register
 # vs apply-by-id, cold vs warm matcher cache).

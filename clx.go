@@ -58,6 +58,70 @@ var (
 		"Latency of one pipeline stage.", nil, "stage", "apply")
 )
 
+// Profile-index counters: which execution plan profiling took (the sharded
+// distinct-value index vs the serial counted scan), how much data it
+// chewed through, and how much arrived incrementally via
+// Session.AppendAndReprofile. One set of atomics serves both surfaces —
+// clxd GET /v1/stats reports them as the ProfileIndexCounters JSON
+// document and GET /metrics exposes the same series (clx_profile_*).
+var (
+	obsProfileRuns = obs.NewCounter("clx_profile_runs_total",
+		"Completed profile passes (initial sessions and incremental re-profiles).")
+	obsProfileSharded = obs.NewCounter("clx_profile_sharded_runs_total",
+		"Profile passes that ran on the sharded distinct-value index plan.")
+	obsProfileIncremental = obs.NewCounter("clx_profile_incremental_runs_total",
+		"Incremental re-profiles via Session.AppendAndReprofile.")
+	obsProfileRows = obs.NewCounter("clx_profile_rows_total",
+		"Rows covered by completed profile passes (full column per pass).")
+	obsProfileAppended = obs.NewCounter("clx_profile_appended_rows_total",
+		"Rows appended to live sessions via Session.AppendAndReprofile.")
+	obsProfileDistinct = obs.NewCounter("clx_profile_distinct_values_total",
+		"Distinct values across completed profile passes.")
+)
+
+// ProfileIndexCounters is a snapshot of the process-wide profiling
+// counters: every profile pass since process start, split by execution
+// plan, plus the row volume the passes covered. Sharded counts passes on
+// the mergeable distinct-value index; Incremental counts re-profiles of
+// appended data, which reuse the index instead of re-profiling from
+// scratch.
+type ProfileIndexCounters struct {
+	Profiles            int64 `json:"profiles"`
+	ShardedProfiles     int64 `json:"sharded_profiles"`
+	IncrementalProfiles int64 `json:"incremental_profiles"`
+	RowsProfiled        int64 `json:"rows_profiled"`
+	AppendedRows        int64 `json:"appended_rows"`
+	DistinctValues      int64 `json:"distinct_values"`
+}
+
+// ProfileIndexStats returns a snapshot of the process-wide profile-index
+// counters (clxd serves it under GET /v1/stats).
+func ProfileIndexStats() ProfileIndexCounters {
+	return ProfileIndexCounters{
+		Profiles:            obsProfileRuns.Value(),
+		ShardedProfiles:     obsProfileSharded.Value(),
+		IncrementalProfiles: obsProfileIncremental.Value(),
+		RowsProfiled:        obsProfileRows.Value(),
+		AppendedRows:        obsProfileAppended.Value(),
+		DistinctValues:      obsProfileDistinct.Value(),
+	}
+}
+
+// recordProfile folds one completed profile pass into the process
+// counters.
+func recordProfile(st *cluster.Stats, incremental bool, appended int) {
+	obsProfileRuns.Inc()
+	if st.Sharded {
+		obsProfileSharded.Inc()
+	}
+	if incremental {
+		obsProfileIncremental.Inc()
+		obsProfileAppended.Add(int64(appended))
+	}
+	obsProfileRows.Add(int64(st.Rows))
+	obsProfileDistinct.Add(int64(st.DistinctValues))
+}
+
 // Pattern is a CLX data pattern: a sequence of quantified tokens such as
 // <D>3'-'<D>3'-'<D>4 (paper §3.1).
 type Pattern = pattern.Pattern
@@ -140,6 +204,10 @@ type Session struct {
 	opts  Options
 	h     *cluster.Hierarchy
 	stats ProfileStats
+	// ix is the sharded incremental profile index, created lazily by the
+	// first AppendAndReprofile; later appends reuse it so re-profiling
+	// costs O(appended rows), not O(column).
+	ix *cluster.Index
 }
 
 // ProfileStats describes the work the Cluster phase did: input and
@@ -153,6 +221,25 @@ type ProfileStats struct {
 	LeafPatterns int
 	// Phase wall times for the profile stages.
 	Index, Tokenize, Group, Constants, Refine time.Duration
+	// Sharded reports whether profiling ran on the sharded mergeable
+	// distinct-value index (true) or the serial counted scan (false);
+	// output is byte-identical either way.
+	Sharded bool
+}
+
+// profileStatsOf converts the cluster-layer stats to the public mirror.
+func profileStatsOf(st *cluster.Stats) ProfileStats {
+	return ProfileStats{
+		Rows:           st.Rows,
+		DistinctValues: st.DistinctValues,
+		LeafPatterns:   st.LeafPatterns,
+		Index:          st.Index,
+		Tokenize:       st.Tokenize,
+		Group:          st.Group,
+		Constants:      st.Constants,
+		Refine:         st.Refine,
+		Sharded:        st.Sharded,
+	}
 }
 
 // NewSession profiles data into pattern clusters (the Cluster phase).
@@ -163,21 +250,37 @@ func NewSession(data []string, opts ...Options) *Session {
 		o = opts[0]
 	}
 	h, st := cluster.ProfileWithStats(data, o.clusterOptions())
-	return &Session{
-		data: data,
-		opts: o,
-		h:    h,
-		stats: ProfileStats{
-			Rows:           st.Rows,
-			DistinctValues: st.DistinctValues,
-			LeafPatterns:   st.LeafPatterns,
-			Index:          st.Index,
-			Tokenize:       st.Tokenize,
-			Group:          st.Group,
-			Constants:      st.Constants,
-			Refine:         st.Refine,
-		},
+	recordProfile(st, false, 0)
+	return &Session{data: data, opts: o, h: h, stats: profileStatsOf(st)}
+}
+
+// AppendAndReprofile appends rows to the session's column and re-profiles
+// it incrementally: the first call builds the session's sharded
+// distinct-value index from the existing column (one full indexing pass);
+// every later call folds only the appended rows into the per-shard counts,
+// tokenizing and interning just the values the session has never seen, and
+// re-runs only grouping and refinement — so a small append re-profiles an
+// order of magnitude faster than profiling the grown column from scratch.
+// The resulting clusters, hierarchy, and stats are byte-identical to
+// NewSession over the concatenated column.
+//
+// Transformations synthesized before the append keep operating on the
+// column snapshot they were labeled against; call Label again to
+// synthesize over the grown column. The updated ProfileStats (whose Index
+// and Tokenize phases cover only the appended rows' work) is returned.
+func (s *Session) AppendAndReprofile(rows []string) ProfileStats {
+	defer func(t0 time.Time) { obsProfileDur.Observe(time.Since(t0)) }(time.Now())
+	if s.ix == nil {
+		s.ix = cluster.NewIndex(s.opts.clusterOptions())
+		s.ix.Add(s.data)
 	}
+	s.ix.Add(rows)
+	h, st := s.ix.ProfileWithStats()
+	recordProfile(st, true, len(rows))
+	s.h = h
+	s.data = h.Data
+	s.stats = profileStatsOf(st)
+	return s.stats
 }
 
 // ProfileStats reports how much work profiling this session's column took.
@@ -233,7 +336,7 @@ func (s *Session) Label(target Pattern) (*Transformation, error) {
 	t0 := time.Now()
 	res := synth.Synthesize(s.h, target, s.opts.synthOptions())
 	obsSynthDur.Observe(time.Since(t0))
-	return &Transformation{sess: s, res: res}, nil
+	return &Transformation{sess: s, data: s.h.Data, res: res}, nil
 }
 
 // Transformation is a synthesized data pattern transformation: a UniFi
@@ -241,6 +344,9 @@ func (s *Session) Label(target Pattern) (*Transformation, error) {
 // for repair.
 type Transformation struct {
 	sess *Session
+	// data is the column snapshot the transformation was labeled against;
+	// the session may grow past it via AppendAndReprofile.
+	data []string
 	res  *synth.Result
 	// guards holds content-conditional overrides keyed by source pattern
 	// (RepairWithExamples).
@@ -282,7 +388,7 @@ func (t *Transformation) Explain() string { return t.Replaces().String() }
 // before/after preview table sampled from the session's data (paper
 // Fig. 8), perOp rows each.
 func (t *Transformation) ExplainWithPreview(perOp int) string {
-	return t.Replaces().PreviewTable(t.sess.data, perOp)
+	return t.Replaces().PreviewTable(t.data, perOp)
 }
 
 // Program returns the underlying UniFi program.
@@ -387,7 +493,7 @@ func (t *Transformation) Run() (out []string, flagged []int) {
 	}
 	prog := t.guardedProgram()
 	target := rematch.CompileCached(t.res.Target.Tokens())
-	data := t.sess.data
+	data := t.data
 	out = make([]string, len(data))
 	flagged = parallel.Gather(t.sess.opts.Workers, len(data), func(lo, hi int, emit func(int)) {
 		for i := lo; i < hi; i++ {

@@ -258,14 +258,17 @@ func (s *server) mux() *http.ServeMux {
 // chunks, flagged, errors, peak in-flight window), the automaton
 // compilation totals (a nonzero fallback count means some loaded programs
 // apply through the backtracking engine instead of the fused automaton),
-// and the streaming admission ledger: which policy is in force and both
+// the streaming admission ledger: which policy is in force and both
 // sides of every decision, so a load generator's observed 200/429 split
-// reconciles exactly against the server.
+// reconciles exactly against the server, and the profile-index counters:
+// how many profile passes ran, on which execution plan, and how much of
+// the row volume arrived incrementally.
 type statsResponse struct {
-	MatcherCache rematch.CacheStats `json:"matcher_cache"`
-	Streaming    stream.Counters    `json:"streaming"`
-	Automaton    automaton.Counters `json:"automaton"`
-	Admission    admissionStats     `json:"admission"`
+	MatcherCache rematch.CacheStats       `json:"matcher_cache"`
+	Streaming    stream.Counters          `json:"streaming"`
+	Automaton    automaton.Counters       `json:"automaton"`
+	Admission    admissionStats           `json:"admission"`
+	ProfileIndex clx.ProfileIndexCounters `json:"profile_index"`
 }
 
 // admissionStats is the admission section of /v1/stats.
@@ -296,6 +299,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			InFlight:          streamsInFlight.Value(),
 			RetryAfterSeconds: s.streamEWMA.retryAfterSeconds(),
 		},
+		ProfileIndex: clx.ProfileIndexStats(),
 	})
 }
 

@@ -220,3 +220,35 @@ func TestApplyEndpoint(t *testing.T) {
 		t.Errorf("bad program status = %d", rec.Code)
 	}
 }
+
+// TestStatsProfileIndexCounters: a cluster request advances the process
+// profile-index counters surfaced under /v1/stats.
+func TestStatsProfileIndexCounters(t *testing.T) {
+	mux := testMux(t)
+	rec, raw := request(t, mux, "GET", "/v1/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status %d", rec.Code)
+	}
+	var before statsResponse
+	if err := json.Unmarshal(raw, &before); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, body := request(t, mux, "POST", "/v1/cluster",
+		`{"rows":["(734) 645-8397","734.236.3466","(313) 263-1192"]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cluster status %d: %s", rec.Code, body)
+	}
+
+	_, raw = request(t, mux, "GET", "/v1/stats", "")
+	var after statsResponse
+	if err := json.Unmarshal(raw, &after); err != nil {
+		t.Fatal(err)
+	}
+	if d := after.ProfileIndex.Profiles - before.ProfileIndex.Profiles; d < 1 {
+		t.Errorf("profiles advanced by %d, want >= 1", d)
+	}
+	if d := after.ProfileIndex.RowsProfiled - before.ProfileIndex.RowsProfiled; d < 3 {
+		t.Errorf("rows_profiled advanced by %d, want >= 3", d)
+	}
+}

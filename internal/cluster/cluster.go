@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"clx/internal/intern"
+	"clx/internal/parallel"
 	"clx/internal/pattern"
 	"clx/internal/token"
 )
@@ -210,7 +211,20 @@ func Profile(data []string, opts Options) *Hierarchy {
 
 // ProfileWithStats is Profile with per-phase timing and size statistics,
 // for benchmarking and monitoring callers.
+//
+// Two execution plans produce the same bytes: the serial counted scan
+// (counted.go) and the sharded mergeable index (index.go). The sharded
+// plan only pays for itself when real parallelism is available and the
+// column is large enough to amortize shard bookkeeping, so it is selected
+// by effective parallelism — min(resolved workers, GOMAXPROCS) — never by
+// the raw worker request: eight requested workers on a one-CPU machine
+// collapse to the serial plan instead of regressing behind it.
 func ProfileWithStats(data []string, opts Options) (*Hierarchy, *Stats) {
+	if parallel.Effective(opts.Workers) >= 2 && len(data) >= shardedMinRows {
+		ix := NewIndex(opts)
+		ix.Add(data)
+		return ix.ProfileWithStats()
+	}
 	st := &Stats{}
 	tbl := intern.NewTable()
 	clusters, _, _ := initialCounted(data, opts, tbl, st)

@@ -30,8 +30,14 @@ type Stats struct {
 	Rows, DistinctValues, LeafPatterns int
 	// Per-phase wall time: value de-duplication, tokenize+intern over
 	// distinct values, cluster grouping, constant discovery, hierarchy
-	// refinement.
+	// refinement. On the sharded path, Index and Tokenize cover the
+	// routing and absorption phases of Index.Add.
 	Index, Tokenize, Group, Constants, Refine time.Duration
+	// Sharded reports which execution plan ran: the sharded mergeable
+	// index (true) or the serial counted scan (false). Output is
+	// byte-identical either way; the flag exists for monitoring and for
+	// the auto-collapse threshold tests.
+	Sharded bool
 }
 
 // valueIndex is the counted view of a column: the distinct values in

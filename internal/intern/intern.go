@@ -103,6 +103,36 @@ func (t *Table) Len() int {
 	return n
 }
 
+// Local is a single-goroutine memo in front of a shared Table: repeated
+// sequences resolve through a private map with no locking, so a worker
+// that interns the same handful of shapes thousands of times (the profile
+// absorb loop: many values, few patterns) stops serializing on the
+// table's shard mutexes. A memo hit is verified token-wise against the
+// canonical sequence, so a 64-bit hash collision degrades to a table call,
+// never to a wrong id. Not safe for concurrent use; give each worker its
+// own Local.
+type Local struct {
+	tbl *Table
+	ids map[uint64]PatternID
+}
+
+// NewLocal returns an empty memo over tbl.
+func NewLocal(tbl *Table) *Local {
+	return &Local{tbl: tbl, ids: make(map[uint64]PatternID, 32)}
+}
+
+// Intern is Table.Intern through the memo: lock-free on repeat sequences,
+// one table call (then memoized) on first sight.
+func (l *Local) Intern(toks []token.Token) PatternID {
+	h := Hash(toks)
+	if id, ok := l.ids[h]; ok && tokensEqual(l.tbl.Tokens(id), toks) {
+		return id
+	}
+	id := l.tbl.Intern(toks)
+	l.ids[h] = id
+	return id
+}
+
 // xxhash-style 64-bit primes (xxh64's multipliers); the mixing below is a
 // compact rotate-multiply in the same family, not the full algorithm —
 // sequences are a handful of tokens, so per-call setup matters more than
@@ -128,6 +158,21 @@ func Hash(toks []token.Token) uint64 {
 	}
 	// Final avalanche so low bits (the shard selector) depend on every
 	// input byte.
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+// HashString returns a 64-bit key over the raw bytes of s, using the same
+// rotate-multiply family as Hash and the same final avalanche, so low bits
+// are safe to use as a shard selector. The profiling distinct-value index
+// shards column values with it (see cluster.Index); equal strings hash
+// equal, and the empty string has a well-defined key.
+func HashString(s string) uint64 {
+	h := hashString(prime3+uint64(len(s)), s)
 	h ^= h >> 33
 	h *= prime2
 	h ^= h >> 29

@@ -124,6 +124,101 @@ func TestInternConcurrent(t *testing.T) {
 	}
 }
 
+// TestInternConcurrentShardGrowth models the sharded-profile caller: many
+// workers interning large, heavily-overlapping pattern sets that force
+// every shard's bucket map and canonical-sequence slice to grow while
+// other goroutines concurrently resolve ids back to tokens and read Len.
+// Identity must hold (equal sequences → equal id), every id must resolve
+// to its exact sequence, and the final table must hold exactly the
+// distinct set. The race tier runs this with -race.
+func TestInternConcurrentShardGrowth(t *testing.T) {
+	tbl := NewTable()
+	const goroutines = 8
+	const distinct = 1500 // >> 16 shards, so every shard grows repeatedly
+
+	seq := func(i int) []token.Token {
+		// Mix shapes so literals, quantifiers, and classes all vary and
+		// hash across shards.
+		return []token.Token{
+			token.Base(token.Digit, 1+i%9),
+			token.Lit(fmt.Sprintf("v%d", i)),
+			token.Base(token.Upper, token.Plus),
+		}
+	}
+
+	ids := make([][]PatternID, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]PatternID, distinct)
+			buf := make([]token.Token, 0, 8)
+			for i := 0; i < distinct; i++ {
+				// Reused scratch buffer, like the profile workers.
+				buf = append(buf[:0], seq(i)...)
+				id := tbl.Intern(buf)
+				ids[g][i] = id
+				// Interleave reads with concurrent growth.
+				if i%7 == 0 {
+					if got := tbl.Tokens(id); !tokensEqual(got, seq(i)) {
+						t.Errorf("Tokens(%d) = %v, want %v", id, got, seq(i))
+						return
+					}
+					_ = tbl.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range ids[g] {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutine %d sees id %d for sequence %d, goroutine 0 sees %d",
+					g, ids[g][i], i, ids[0][i])
+			}
+		}
+	}
+	if got := tbl.Len(); got != distinct {
+		t.Errorf("Len = %d, want %d", got, distinct)
+	}
+	for i := 0; i < distinct; i++ {
+		if got := tbl.Tokens(ids[0][i]); !tokensEqual(got, seq(i)) {
+			t.Fatalf("canonical sequence %d corrupted: %v", i, got)
+		}
+	}
+}
+
+// TestHashString covers the exported value-sharding hash: equality on
+// equal strings, sensitivity to content (including bytes beyond the
+// 8-byte fold boundary), and stability for the shapes the sharded index
+// partitions — empty strings, CRLF, and multi-byte UTF-8.
+func TestHashString(t *testing.T) {
+	if HashString("") != HashString("") {
+		t.Error("empty string hash is unstable")
+	}
+	pairs := [][2]string{
+		{"", "a"},
+		{"a", "b"},
+		{"ab", "ba"},
+		{"12345678", "123456789"},            // boundary of the 8-byte fold
+		{"abcdefghX", "abcdefghY"},           // tail byte beyond the fold
+		{"line1\nline2", "line1\r\nline2"},   // CRLF vs LF
+		{"café", "café"},               // composed vs decomposed UTF-8
+		{"日本", "日木"},                         // multi-byte, one byte apart
+	}
+	for _, p := range pairs {
+		if HashString(p[0]) == HashString(p[1]) {
+			t.Errorf("HashString(%q) == HashString(%q)", p[0], p[1])
+		}
+	}
+	// Same content, different backing storage.
+	s := "x1-y2-z3"
+	if HashString(s[:4]) != HashString(string([]byte(s[:4]))) {
+		t.Error("equal strings hash differently")
+	}
+}
+
 func BenchmarkIntern(b *testing.B) {
 	tbl := NewTable()
 	toks := tokenize.Tokenize("(734) 645-8397")

@@ -32,6 +32,22 @@ func Workers(n int) int {
 	return n
 }
 
+// Effective resolves a configured worker count to the fan-out that can
+// actually run in parallel: Workers(n) clamped to GOMAXPROCS. Requested
+// workers beyond the scheduler's processor count add goroutine-switch and
+// chunk-bookkeeping overhead without adding throughput (the same reasoning
+// as Window's admission bound), so data-parallel stages that choose between
+// a serial and a sharded execution plan size the plan off Effective, not
+// off the raw request. Output determinism never depends on this value —
+// it only picks how much real parallelism to provision.
+func Effective(n int) int {
+	w := Workers(n)
+	if p := runtime.GOMAXPROCS(0); w > p {
+		return p
+	}
+	return w
+}
+
 // Chunks splits the index range [0, n) into at most Workers(workers)
 // contiguous half-open chunks of near-equal size, in ascending order.
 // Boundaries depend only on the resolved worker count and n, so a reduction

@@ -21,6 +21,21 @@ func TestWorkersResolution(t *testing.T) {
 	}
 }
 
+func TestEffectiveCapsAtGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+	if got := Effective(1); got != 1 {
+		t.Errorf("Effective(1) = %d, want 1", got)
+	}
+	if got := Effective(8); got != 2 {
+		t.Errorf("Effective(8) = %d at GOMAXPROCS 2, want 2", got)
+	}
+	// Auto resolution (0) is GOMAXPROCS, which is never above the cap.
+	if got := Effective(0); got != 2 {
+		t.Errorf("Effective(0) = %d at GOMAXPROCS 2, want 2", got)
+	}
+}
+
 func TestChunksCoverExactly(t *testing.T) {
 	for _, workers := range []int{1, 2, 3, 4, 8, 100} {
 		for _, n := range []int{0, 1, 2, 3, 7, 8, 9, 100, 101} {
