@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: test race gate cover fuzz-smoke apply-parity profile-parity bench bench-profile bench-check pipeline profile bench-store bench-stream bench-obs obs-smoke bench-apply load-smoke bench-load
+.PHONY: test race gate cover fuzz-smoke apply-parity profile-parity bench bench-profile bench-check pipeline profile bench-store bench-stream bench-obs obs-smoke bench-apply load-smoke bench-load cluster-smoke cluster-parity
 
 # Tier-1: vet + build + unit tests (ROADMAP.md contract).
 test:
@@ -20,9 +20,9 @@ race:
 
 # Full gate: tier-1, race tier, per-package coverage floors, a
 # 10s-per-target fuzz smoke over the seed corpora, the automaton-vs-
-# reference apply-parity smoke, the metrics-overhead smoke test, and the
-# load-harness smoke.
-gate: test race cover fuzz-smoke apply-parity profile-parity obs-smoke load-smoke
+# reference apply-parity smoke, the metrics-overhead smoke test, the
+# load-harness smoke, and the cluster smoke.
+gate: test race cover fuzz-smoke apply-parity profile-parity obs-smoke load-smoke cluster-smoke
 
 # Apply-parity smoke: the byte-automaton engine must produce byte-identical
 # output (rows, flagged indices, errors) to the retained backtracking
@@ -109,7 +109,25 @@ obs-smoke:
 # arrival accounted for as 200 or 429, generous p99 budget. Keeps the
 # load harness and the daemon API from drifting apart.
 load-smoke:
-	$(GO) test -race -count=1 -run 'TestLoadSmoke' ./cmd/clxd
+	$(GO) test -race -count=1 -run 'TestLoadSmoke' ./internal/daemon
+
+# Cluster smoke: a fixed workload through an in-process 2-node cluster
+# (leader + WAL-replicated follower behind the routing proxy), reconciled
+# counter-by-counter — replication ships vs applies, proxy picks vs
+# requests, per-node admission decisions vs observed 200/429s — all
+# exact, under the race detector.
+cluster-smoke:
+	$(GO) test -race -count=1 -run 'TestClusterSmoke' ./internal/fleet
+
+# Cluster parity, full matrix: every routing policy × node count {1,2,4}
+# over the whole benchmark suite, asserting byte-identical apply and
+# apply/stream responses against a single-node reference, plus the fault
+# suite (follower killed mid-replication, routed node killed mid-stream).
+# Not part of `gate` — minutes, not seconds; run before replication or
+# routing changes merge.
+cluster-parity:
+	CLX_CLUSTER_PARITY=full $(GO) test -race -count=1 -timeout 1800s \
+		-run 'TestCluster' .
 
 # Regenerate BENCH_load.json: build the daemon, then let clxload spawn it
 # per phase — a 3-rate sweep (median of 3), a knee search for the p99 SLO,

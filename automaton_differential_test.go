@@ -43,11 +43,16 @@ func TestAutomatonDifferentialBenchSuite(t *testing.T) {
 		t.Fatalf("benchmark suite has %d tasks, want >= 47", len(tasks))
 	}
 	programs, automata := 0, 0
+	// Skips are counted, not silent: the summary below names every task
+	// that fell out of the differential, so coverage erosion shows up in
+	// the log long before it trips a floor.
+	var noTarget, notLowerable []string
 	for _, task := range tasks {
 		task := task
 		t.Run(task.Name, func(t *testing.T) {
 			raw := exportTaskProgram(t, task.Inputs, task.Outputs)
 			if raw == nil {
+				noTarget = append(noTarget, task.Name)
 				t.Skip("no selected target labels this task")
 			}
 			programs++
@@ -62,7 +67,8 @@ func TestAutomatonDifferentialBenchSuite(t *testing.T) {
 			ref.DisableAutomaton()
 			if !auto.HasAutomaton() {
 				// A fallback program runs the reference engine on both arms;
-				// nothing to differentiate, but track coverage below.
+				// nothing to differentiate, but count it against the floor.
+				notLowerable = append(notLowerable, task.Name)
 				t.Skip("program not lowerable to an automaton")
 			}
 			automata++
@@ -110,12 +116,20 @@ func TestAutomatonDifferentialBenchSuite(t *testing.T) {
 			}
 		})
 	}
+	t.Logf("differential coverage: %d/%d tasks produced programs, %d/%d lowered to automata",
+		programs, len(tasks), automata, programs)
+	if len(noTarget) > 0 {
+		t.Logf("no labelable target (%d): %v", len(noTarget), noTarget)
+	}
+	if len(notLowerable) > 0 {
+		t.Logf("not lowerable to an automaton (%d): %v", len(notLowerable), notLowerable)
+	}
 	if programs < 40 {
-		t.Fatalf("only %d/%d tasks produced a program; the differential layer lost coverage",
-			programs, len(tasks))
+		t.Fatalf("only %d/%d tasks produced a program (no target: %v); the differential layer lost coverage",
+			programs, len(tasks), noTarget)
 	}
 	if automata < programs {
-		t.Fatalf("only %d/%d programs compiled to automata; suite programs should all lower",
-			automata, programs)
+		t.Fatalf("only %d/%d programs compiled to automata (fell back: %v); suite programs should all lower",
+			automata, programs, notLowerable)
 	}
 }

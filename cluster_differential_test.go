@@ -1,0 +1,431 @@
+// Differential cluster-parity harness: a CLX cluster — N clxd nodes
+// behind the routing proxy with WAL replication from the leader — must
+// be indistinguishable from a single node. For every routing policy ×
+// node count × benchmark task, registering a program through the proxy
+// and applying it (buffered and streaming) must produce byte-identical
+// answers to the single-node reference, no matter which node the policy
+// routed each request to. The fault-injection cases then break the
+// cluster on purpose: a follower killed mid-replication must converge
+// from snapshot∘WAL on restart, and a routed node killed mid-stream
+// must surface the pinned error-frame contract to the client, not a
+// hang.
+//
+// The full policy × {1,2,4} × all-tasks matrix runs under
+// CLX_CLUSTER_PARITY=full (the `make cluster-parity` target); the
+// default run sweeps every policy over {1,2} nodes and a task subset so
+// tier-1 stays fast.
+package clx_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	clx "clx"
+	"clx/internal/benchsuite"
+	"clx/internal/fleet/fleettest"
+	"clx/internal/fleet/routing"
+	"clx/internal/simuser"
+)
+
+// clusterTask is one benchmark task prepared for HTTP registration: a
+// stable explicit program id (so every cluster configuration stores the
+// program under the same id) and the target pattern in its parseable
+// compact notation.
+type clusterTask struct {
+	ID     string
+	Name   string
+	Target string
+	Inputs []string
+}
+
+var (
+	clusterTasksOnce sync.Once
+	clusterTasksAll  []clusterTask
+)
+
+// clusterTasks derives the registerable subset of the benchmark suite
+// once per test binary: tasks with a selected target that labels,
+// exports, and whose notation survives the parse round trip the HTTP
+// API performs.
+func clusterTasks(t *testing.T) []clusterTask {
+	t.Helper()
+	clusterTasksOnce.Do(func() {
+		for i, task := range benchsuite.Tasks() {
+			for _, target := range simuser.SelectTargets(task.Inputs, task.Outputs) {
+				tr, err := clx.NewSession(task.Inputs).Label(target)
+				if err != nil {
+					continue
+				}
+				if _, err := tr.Export(); err != nil {
+					continue
+				}
+				if _, err := clx.ParseAnyPattern(target.String()); err != nil {
+					continue
+				}
+				clusterTasksAll = append(clusterTasksAll, clusterTask{
+					ID:     fmt.Sprintf("task%03d", i),
+					Name:   task.Name,
+					Target: target.String(),
+					Inputs: task.Inputs,
+				})
+				break
+			}
+		}
+	})
+	if len(clusterTasksAll) < 40 {
+		t.Fatalf("only %d benchmark tasks are registerable over HTTP; the parity matrix lost coverage", len(clusterTasksAll))
+	}
+	return clusterTasksAll
+}
+
+// clusterPost sends one JSON POST and returns status and body.
+func clusterPost(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("POST %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, out
+}
+
+// registerTask registers ct through the cluster front, returning the
+// register status (the parity invariant: identical across every
+// configuration, success or failure).
+func registerTask(t *testing.T, base string, ct clusterTask) int {
+	t.Helper()
+	status, _ := clusterPost(t, base+"/v1/programs", map[string]any{
+		"rows":   ct.Inputs,
+		"target": ct.Target,
+		"id":     ct.ID,
+		"name":   ct.Name,
+	})
+	return status
+}
+
+// applyTask runs the buffered apply and returns status plus the exact
+// response bytes.
+func applyTask(t *testing.T, base string, ct clusterTask) (int, string) {
+	t.Helper()
+	status, body := clusterPost(t, base+"/v1/programs/"+ct.ID+"/apply", map[string]any{
+		"rows": ct.Inputs,
+	})
+	return status, string(body)
+}
+
+// streamTask runs the streaming apply and splits the NDJSON response
+// into the payload (every line before the trailer, byte-preserved) and
+// the parsed trailer with the wall-clock-dependent rows_per_sec field
+// removed — the only field that legitimately differs across runs.
+func streamTask(t *testing.T, base string, ct clusterTask) (status int, payload string, trailer map[string]any) {
+	t.Helper()
+	body := strings.Join(ct.Inputs, "\n") + "\n"
+	resp, err := http.Post(base+"/v1/programs/"+ct.ID+"/apply/stream?chunk=3", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("stream POST: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, string(raw), nil
+	}
+	cut := strings.LastIndexByte(strings.TrimRight(string(raw), "\n"), '\n')
+	if cut < 0 {
+		cut = -1 // trailer-only response (empty payload)
+	}
+	payload = string(raw)[:cut+1]
+	if err := json.Unmarshal([]byte(string(raw)[cut+1:]), &trailer); err != nil {
+		t.Fatalf("stream trailer not JSON: %v\nbody tail: %q", err, string(raw)[cut+1:])
+	}
+	delete(trailer, "rows_per_sec")
+	return resp.StatusCode, payload, trailer
+}
+
+// refAnswer is the single-node ground truth for one task.
+type refAnswer struct {
+	registerStatus int
+	applyStatus    int
+	applyBody      string
+	streamStatus   int
+	streamPayload  string
+	streamTrailer  map[string]any
+}
+
+func TestClusterParityDifferential(t *testing.T) {
+	full := os.Getenv("CLX_CLUSTER_PARITY") == "full"
+	tasks := clusterTasks(t)
+	nodeCounts := []int{1, 2, 4}
+	if !full {
+		nodeCounts = []int{1, 2}
+		if len(tasks) > 12 {
+			tasks = tasks[:12]
+		}
+	}
+
+	// Single-node ground truth, captured through a 1-node cluster so the
+	// reference bytes also traverse the proxy machinery.
+	ref := make(map[string]*refAnswer, len(tasks))
+	refCluster := fleettest.New(t, fleettest.Options{Nodes: 1})
+	registered := 0
+	for _, ct := range tasks {
+		a := &refAnswer{registerStatus: registerTask(t, refCluster.URL(), ct)}
+		if a.registerStatus == http.StatusCreated {
+			registered++
+			a.applyStatus, a.applyBody = applyTask(t, refCluster.URL(), ct)
+			a.streamStatus, a.streamPayload, a.streamTrailer = streamTask(t, refCluster.URL(), ct)
+		}
+		ref[ct.ID] = a
+	}
+	if registered < len(tasks)*3/4 {
+		t.Fatalf("only %d/%d tasks registered on the reference node; the matrix lost coverage", registered, len(tasks))
+	}
+	refCluster.Close()
+
+	for _, policy := range routing.Names {
+		for _, n := range nodeCounts {
+			t.Run(fmt.Sprintf("%s/nodes=%d", policy, n), func(t *testing.T) {
+				c := fleettest.New(t, fleettest.Options{Nodes: n, Policy: policy})
+				for _, ct := range tasks {
+					want := ref[ct.ID]
+					if got := registerTask(t, c.URL(), ct); got != want.registerStatus {
+						t.Fatalf("%s: register status %d, single-node %d", ct.Name, got, want.registerStatus)
+					}
+				}
+				// Registration is replicated synchronously; Converge just
+				// proves it, fingerprint-equal across all nodes.
+				c.Converge(10 * time.Second)
+				for _, ct := range tasks {
+					want := ref[ct.ID]
+					if want.registerStatus != http.StatusCreated {
+						continue
+					}
+					status, body := applyTask(t, c.URL(), ct)
+					if status != want.applyStatus {
+						t.Fatalf("%s: apply status %d, single-node %d\nbody: %s", ct.Name, status, want.applyStatus, body)
+					}
+					if body != want.applyBody {
+						t.Fatalf("%s: apply response diverges from single-node\ncluster: %s\nsingle:  %s", ct.Name, body, want.applyBody)
+					}
+					status, payload, trailer := streamTask(t, c.URL(), ct)
+					if status != want.streamStatus {
+						t.Fatalf("%s: stream status %d, single-node %d", ct.Name, status, want.streamStatus)
+					}
+					if payload != want.streamPayload {
+						t.Fatalf("%s: stream payload diverges from single-node\ncluster: %q\nsingle:  %q", ct.Name, payload, want.streamPayload)
+					}
+					if !reflect.DeepEqual(trailer, want.streamTrailer) {
+						t.Fatalf("%s: stream trailer diverges (rows_per_sec excluded)\ncluster: %v\nsingle:  %v", ct.Name, trailer, want.streamTrailer)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestClusterFollowerKilledMidReplication kills a durable follower
+// between two batches of writes. The leader keeps acknowledging writes
+// (one dead follower must not fail the fleet), and on restart the
+// follower recovers its pre-crash state from snapshot∘WAL, then the
+// replicator's resync brings it to the leader's exact fingerprint.
+func TestClusterFollowerKilledMidReplication(t *testing.T) {
+	tasks := clusterTasks(t)
+	if len(tasks) < 8 {
+		t.Fatalf("need at least 8 registerable tasks, have %d", len(tasks))
+	}
+	c := fleettest.New(t, fleettest.Options{Nodes: 2, Durable: true})
+
+	for _, ct := range tasks[:4] {
+		if status := registerTask(t, c.URL(), ct); status != http.StatusCreated {
+			t.Fatalf("%s: register status %d before kill", ct.Name, status)
+		}
+	}
+	c.Converge(10 * time.Second)
+
+	c.Kill(1)
+	for _, ct := range tasks[4:8] {
+		if status := registerTask(t, c.URL(), ct); status != http.StatusCreated {
+			t.Fatalf("%s: register status %d with follower down (leader must keep accepting writes)", ct.Name, status)
+		}
+	}
+	if got := c.Leader().Store.Len(); got != 8 {
+		t.Fatalf("leader holds %d programs, want 8", got)
+	}
+
+	c.Restart(1)
+	// The restarted store must have recovered the replicated pre-crash
+	// batch from its own disk before any resync traffic.
+	if got := c.Nodes[1].Store.Len(); got != 4 {
+		t.Fatalf("restarted follower recovered %d programs from snapshot∘WAL, want the 4 replicated before the crash", got)
+	}
+	c.Converge(10 * time.Second)
+	if got := c.Nodes[1].Store.Len(); got != 8 {
+		t.Fatalf("converged follower holds %d programs, want 8", got)
+	}
+}
+
+// TestClusterRoutedNodeKilledMidStream pins the mid-stream failure
+// contract through the proxy: when the node serving a streaming apply
+// dies after rows have been flushed, the client's response stays
+// well-formed NDJSON ending in a {"done":false,"error":...} frame — it
+// must not hang and must not end in a torn line.
+func TestClusterRoutedNodeKilledMidStream(t *testing.T) {
+	tasks := clusterTasks(t)
+	c := fleettest.New(t, fleettest.Options{Nodes: 2, Policy: "affinity"})
+
+	// Find a task whose program the affinity policy pins to the follower,
+	// so we know exactly which node to kill.
+	backends := []routing.Backend{{ID: "node-0"}, {ID: "node-1"}}
+	var ct clusterTask
+	found := false
+	for _, cand := range tasks {
+		if (routing.Affinity{}).Pick(cand.ID, backends) == 1 {
+			ct = cand
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no task hashes to node 1; widen the task set")
+	}
+	if status := registerTask(t, c.URL(), ct); status != http.StatusCreated {
+		t.Fatalf("register status %d", status)
+	}
+
+	// Stream with a body that never ends: a goroutine keeps feeding rows
+	// through a pipe, so the stream is guaranteed live when the node dies.
+	// (The daemon only flushes response headers with the first output
+	// chunk, so the feeder must run before Do can return.)
+	pr, pw := io.Pipe()
+	stopFeed := make(chan struct{})
+	go func() {
+		defer pw.Close()
+		for {
+			select {
+			case <-stopFeed:
+				return
+			default:
+			}
+			if _, err := io.WriteString(pw, ct.Inputs[0]+"\n"); err != nil {
+				return // downstream died; the main goroutine owns the assertions
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	defer close(stopFeed)
+	req, err := http.NewRequest("POST", c.URL()+"/v1/programs/"+ct.ID+"/apply/stream?chunk=1", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("stream request: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d, want 200", resp.StatusCode)
+	}
+
+	// Wait for a transformed line: proof the stream is flowing end to end
+	// before the kill.
+	lines := newLineScanner(resp.Body)
+	first, err := lines.next(5 * time.Second)
+	if err != nil {
+		t.Fatalf("no output line before kill: %v", err)
+	}
+	if !json.Valid([]byte(first)) {
+		t.Fatalf("payload line is not JSON: %q", first)
+	}
+
+	c.Kill(1)
+
+	// The pinned contract: the stream ends with a well-formed error frame,
+	// within a bounded wait, with no torn bytes in between.
+	deadline := time.Now().Add(10 * time.Second)
+	var last string
+	for {
+		line, err := lines.next(time.Until(deadline))
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("reading stream after kill: %v (last line %q)", err, last)
+		}
+		last = line
+	}
+	var frame struct {
+		Done  bool   `json:"done"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(last), &frame); err != nil {
+		t.Fatalf("final line is not a JSON frame: %v\nline: %q", err, last)
+	}
+	if frame.Done || frame.Error == "" {
+		t.Fatalf("final frame %q: want done=false with a non-empty error", last)
+	}
+}
+
+// lineScanner reads newline-terminated lines with a deadline, so a
+// hung stream fails the test instead of wedging it.
+type lineScanner struct {
+	lines chan string
+	errs  chan error
+}
+
+func newLineScanner(r io.Reader) *lineScanner {
+	ls := &lineScanner{lines: make(chan string, 64), errs: make(chan error, 1)}
+	go func() {
+		buf := make([]byte, 0, 4096)
+		one := make([]byte, 1)
+		for {
+			n, err := r.Read(one)
+			if n > 0 {
+				if one[0] == '\n' {
+					ls.lines <- string(buf)
+					buf = buf[:0]
+				} else {
+					buf = append(buf, one[0])
+				}
+			}
+			if err != nil {
+				if err == io.EOF && len(buf) > 0 {
+					// A torn final line is a contract violation; surface it.
+					ls.errs <- fmt.Errorf("stream ended mid-line: %q", buf)
+					return
+				}
+				ls.errs <- err
+				return
+			}
+		}
+	}()
+	return ls
+}
+
+func (ls *lineScanner) next(timeout time.Duration) (string, error) {
+	select {
+	case l := <-ls.lines:
+		return l, nil
+	case err := <-ls.errs:
+		return "", err
+	case <-time.After(timeout):
+		return "", fmt.Errorf("no line within %v (stream hang)", timeout)
+	}
+}

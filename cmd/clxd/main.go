@@ -2,7 +2,7 @@
 // packaging a data-wrangling front end or pipeline would integrate:
 //
 //	clxd -addr :8080 [-workers n] [-store dir] [-pprof addr]
-//	     [-log-format text|json] [-max-streams n]
+//	     [-log-format text|json] [-max-streams n] [-followers urls]
 //
 //	POST /v1/cluster    {"rows": [...]}                 -> pattern clusters
 //	POST /v1/transform  {"rows": [...], "target": "…",  -> program + output
@@ -61,6 +61,15 @@
 //	    a trailer object with stream stats ({"done":true,...}) or an error
 //	    frame if the source failed mid-stream
 //
+// With -followers <url,url,...> the daemon is a cluster replication
+// leader: every program registration and deletion is shipped as WAL
+// records to the listed follower clxd nodes (POST /v1/replication/wal)
+// before the client is acknowledged, and a follower that restarts or
+// falls behind is resynced with a full snapshot. The follower endpoints
+// are always mounted, so any plain clxd can serve as a follower; put
+// cmd/clxproxy in front to route reads across the fleet. The leader's
+// shipping ledger rides /v1/stats under "replication".
+//
 // Target patterns accept both notations ("<D>3'-'<D>4" or
 // "{digit}{3}-{digit}{4}"). The transform response carries, per source
 // pattern, the rendered Replace operation, a before/after preview, and the
@@ -76,25 +85,21 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
-	clx "clx"
-	"clx/internal/automaton"
+	"clx/internal/daemon"
+	"clx/internal/fleet"
 	"clx/internal/obs"
 	"clx/internal/progstore"
-	"clx/internal/rematch"
-	"clx/internal/stream"
 )
 
 func main() {
@@ -107,27 +112,20 @@ func main() {
 		"serve net/http/pprof on this extra address (e.g. localhost:6060); empty disables it")
 	logFormat := flag.String("log-format", "text",
 		"structured request-log format: text or json")
-	streams := flag.Int("max-streams", maxStreams,
+	streams := flag.Int("max-streams", 2*runtime.GOMAXPROCS(0),
 		"concurrent streaming-apply cap; requests over it get 429 + Retry-After")
-	admissionFlag := flag.String("admission", admissionMode,
+	admissionFlag := flag.String("admission", "semaphore",
 		"streaming admission policy: semaphore (cap in-flight streams at -max-streams) "+
 			"or tokenbucket (admit at -admission-rate with -admission-burst)")
-	admissionRateFlag := flag.Float64("admission-rate", admissionRate,
+	admissionRateFlag := flag.Float64("admission-rate", 100,
 		"tokenbucket admission: sustained streams/sec admitted")
 	admissionBurstFlag := flag.Float64("admission-burst", 0,
 		"tokenbucket admission: burst capacity in streams (0 = 2 x -max-streams)")
+	followersFlag := flag.String("followers", "",
+		"comma-separated follower base URLs; when set this node is a replication "+
+			"leader and ships every registry write to them before acknowledging")
 	flag.Parse()
-	srvOpts.Workers = *workers
-	maxStreams = *streams
-	admissionMode = *admissionFlag
-	admissionRate = *admissionRateFlag
-	admissionBurst = *admissionBurstFlag
-	if admissionBurst <= 0 {
-		admissionBurst = float64(2 * maxStreams)
-	}
-	if _, err := newAdmissionPolicy(admissionMode, maxStreams, admissionRate, admissionBurst); err != nil {
-		log.Fatal("clxd: ", err)
-	}
+
 	if *pprofAddr != "" {
 		// A separate listener so profiling endpoints never share the API
 		// port (or its timeouts — CPU profiles stream for 30s+).
@@ -143,11 +141,34 @@ func main() {
 	if err != nil {
 		log.Fatal("clxd: ", err)
 	}
-	srv := newServer(st)
-	srv.logger = obs.NewLogger(os.Stderr, *logFormat)
+	var repl *fleet.Replicator
+	if *followersFlag != "" {
+		var urls []string
+		for _, u := range strings.Split(*followersFlag, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		// The retry loop re-ships to followers that were down when a write
+		// flushed, so a bounced follower converges without operator action.
+		repl = fleet.NewReplicator(st, urls, fleet.ReplicatorOptions{RetryInterval: time.Second})
+		defer repl.Close()
+	}
+	srv, err := daemon.New(st, daemon.Config{
+		Workers:        *workers,
+		MaxStreams:     *streams,
+		Admission:      *admissionFlag,
+		AdmissionRate:  *admissionRateFlag,
+		AdmissionBurst: *admissionBurstFlag,
+		Logger:         obs.NewLogger(os.Stderr, *logFormat),
+		Replicator:     repl,
+	})
+	if err != nil {
+		log.Fatal("clxd: ", err)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.handler(),
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      2 * time.Minute,
@@ -158,7 +179,8 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("clxd listening on %s (workers=%d, 0=auto; store=%q)", *addr, *workers, *storeDir)
+	log.Printf("clxd listening on %s (workers=%d, 0=auto; store=%q, followers=%q)",
+		*addr, *workers, *storeDir, *followersFlag)
 
 	select {
 	case err := <-errc:
@@ -178,164 +200,4 @@ func main() {
 			log.Fatal("clxd: registry close: ", err)
 		}
 	}
-}
-
-// srvOpts are the session options every handler uses; main overrides the
-// worker fan-out from the -workers flag. The compiled-matcher cache in
-// internal/rematch is process-wide, so repeated requests over similar
-// columns share prepared matchers across handlers regardless of fan-out.
-var srvOpts = clx.DefaultOptions()
-
-// maxStreams caps concurrent streaming applies under the semaphore
-// policy. Each stream holds up to chunk × MaxInFlight rows, so admission
-// must be bounded for the engine's fixed-memory guarantee to survive a
-// request burst. ~2 streams per CPU keeps the workers busy without
-// stacking windows. A var so the flag and tests can override it before
-// newServer.
-var maxStreams = 2 * runtime.GOMAXPROCS(0)
-
-// Admission policy selection (see admission.go). Vars so the flags and
-// tests can override them before newServer; main validates the mode.
-var (
-	admissionMode  = "semaphore"
-	admissionRate  = 100.0 // tokenbucket: sustained streams/sec
-	admissionBurst = 0.0   // tokenbucket: burst size (<=0: 2 x maxStreams)
-)
-
-// server carries the shared daemon state: the program registry, the
-// request logger, the streaming admission policy, and the stream-duration
-// EWMA behind the Retry-After hint.
-type server struct {
-	store      *progstore.Store
-	logger     *obs.Logger // nil logs nothing (tests)
-	admission  admissionPolicy
-	streamEWMA durationEWMA
-}
-
-func newServer(st *progstore.Store) *server {
-	burst := admissionBurst
-	if burst <= 0 {
-		burst = float64(2 * maxStreams)
-	}
-	pol, err := newAdmissionPolicy(admissionMode, maxStreams, admissionRate, burst)
-	if err != nil {
-		// main validates the flag before newServer; reaching this is a
-		// programmer error in tests.
-		panic(err)
-	}
-	return &server{store: st, admission: pol}
-}
-
-// handler is the complete daemon handler: the route mux wrapped in the
-// tracing/logging/metrics middleware.
-func (s *server) handler() http.Handler { return s.withObs(s.mux()) }
-
-func (s *server) mux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"ok":true}`)
-	})
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.Handle("GET /metrics", obs.Handler())
-	mux.HandleFunc("POST /v1/cluster", handleCluster)
-	mux.HandleFunc("POST /v1/transform", handleTransform)
-	mux.HandleFunc("POST /v1/tables/unify", handleUnify)
-	mux.HandleFunc("POST /v1/apply", handleApply)
-	mux.HandleFunc("POST /v1/programs", s.handleProgramRegister)
-	mux.HandleFunc("GET /v1/programs", s.handleProgramList)
-	mux.HandleFunc("GET /v1/programs/{id}", s.handleProgramGet)
-	mux.HandleFunc("DELETE /v1/programs/{id}", s.handleProgramDelete)
-	mux.HandleFunc("POST /v1/programs/{id}/apply", s.handleProgramApply)
-	mux.HandleFunc("POST /v1/programs/{id}/apply/stream", s.handleProgramApplyStream)
-	return mux
-}
-
-// statsResponse is the GET /v1/stats document: process-level counters a
-// deployment scrapes to watch the daemon — the compiled-matcher cache
-// (hit/miss/evict), the knob bounding memory growth on servers that see
-// many distinct programs, the streaming bulk-apply totals (streams, rows,
-// chunks, flagged, errors, peak in-flight window), the automaton
-// compilation totals (a nonzero fallback count means some loaded programs
-// apply through the backtracking engine instead of the fused automaton),
-// the streaming admission ledger: which policy is in force and both
-// sides of every decision, so a load generator's observed 200/429 split
-// reconciles exactly against the server, and the profile-index counters:
-// how many profile passes ran, on which execution plan, and how much of
-// the row volume arrived incrementally.
-type statsResponse struct {
-	MatcherCache rematch.CacheStats       `json:"matcher_cache"`
-	Streaming    stream.Counters          `json:"streaming"`
-	Automaton    automaton.Counters       `json:"automaton"`
-	Admission    admissionStats           `json:"admission"`
-	ProfileIndex clx.ProfileIndexCounters `json:"profile_index"`
-}
-
-// admissionStats is the admission section of /v1/stats.
-type admissionStats struct {
-	// Policy is the -admission mode in force.
-	Policy string `json:"policy"`
-	// Admitted and Rejected count every decision since process start;
-	// admitted + rejected equals the streaming requests that reached
-	// admission, and rejected equals the 429s clients saw.
-	Admitted int64 `json:"admitted"`
-	Rejected int64 `json:"rejected"`
-	// InFlight is the clx_streams_in_flight gauge.
-	InFlight int64 `json:"in_flight"`
-	// RetryAfterSeconds is the hint the next 429 would carry (EWMA of
-	// recent stream durations, floor 1s, cap 30s).
-	RetryAfterSeconds int `json:"retry_after_seconds"`
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
-		MatcherCache: rematch.Stats(),
-		Streaming:    stream.GlobalStats(),
-		Automaton:    automaton.GlobalStats(),
-		Admission: admissionStats{
-			Policy:            s.admission.Name(),
-			Admitted:          streamsAdmitted.Value(),
-			Rejected:          streamsRejected.Value(),
-			InFlight:          streamsInFlight.Value(),
-			RetryAfterSeconds: s.streamEWMA.retryAfterSeconds(),
-		},
-		ProfileIndex: clx.ProfileIndexStats(),
-	})
-}
-
-// maxBody caps every request body; oversized bodies get the 413 envelope.
-// A var so tests can shrink it.
-var maxBody int64 = 32 << 20
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false) // keep "<D>3" readable
-	_ = enc.Encode(v)
-}
-
-// errorJSON is the uniform error envelope every failure path returns.
-type errorJSON struct {
-	Error string `json:"error"`
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorJSON{Error: err.Error()})
-}
-
-func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
-	var v T
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&v); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, err)
-		} else {
-			writeError(w, http.StatusBadRequest, err)
-		}
-		return v, false
-	}
-	return v, true
 }

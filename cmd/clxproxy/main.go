@@ -1,0 +1,74 @@
+// Command clxproxy fronts a fleet of clxd nodes with a pluggable
+// routing policy:
+//
+//	clxproxy -addr :8090 -nodes http://n0:8080,http://n1:8080 [-policy name]
+//
+// The first node in -nodes is the leader: registry writes (POST
+// /v1/programs, DELETE) always go to it, and it should be running with
+// -followers pointing at the rest so every write is replicated before
+// it is acknowledged. Program applies, streaming applies, and stateless
+// compute are spread across all nodes by -policy:
+//
+//	round-robin   uniform request counts (the default)
+//	least-loaded  fewest streams in flight, scraped from each node's
+//	              /v1/stats and cached for -probe-ttl
+//	affinity      rendezvous-hash on program id, keeping each node's
+//	              compiled-matcher/automaton caches hot for the
+//	              programs it owns
+//
+// Node backpressure passes through untouched: a 429's Retry-After
+// header is the node's own EWMA-derived hint, never minted by the
+// proxy; idempotent applies are retried on the remaining nodes first.
+// Streaming responses are forwarded line-by-line, and a node dying
+// mid-stream becomes the documented {"done":false,"error":...} trailer
+// frame, not a hang. GET /v1/proxy/stats serves the routing ledger
+// (per-node picks, retries, mid-stream failures); GET /metrics serves
+// the proxy's own Prometheus-format registry (clx_proxy_*).
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"clx/internal/fleet"
+	"clx/internal/fleet/routing"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	nodes := flag.String("nodes", "",
+		"comma-separated clxd base URLs; the first is the leader (registry writes go to it)")
+	policy := flag.String("policy", "round-robin",
+		"routing policy: "+strings.Join(routing.Names, ", "))
+	probeTTL := flag.Duration("probe-ttl", 250*time.Millisecond,
+		"least-loaded: how long a scraped /v1/stats in-flight value stays fresh")
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*nodes, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("clxproxy: -nodes is required (comma-separated clxd base URLs)")
+	}
+	pol, err := routing.New(*policy)
+	if err != nil {
+		log.Fatal("clxproxy: ", err)
+	}
+	proxy, err := fleet.NewProxy(urls, fleet.ProxyOptions{Policy: pol, ProbeTTL: *probeTTL})
+	if err != nil {
+		log.Fatal("clxproxy: ", err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           proxy,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("clxproxy listening on %s (policy=%s, nodes=%d)", *addr, pol.Name(), len(urls))
+	log.Fatal("clxproxy: ", srv.ListenAndServe())
+}

@@ -15,7 +15,7 @@
 // decision are counted (clx_streams_admitted_total /
 // clx_streams_rejected_total), so client-observed 200/429 counts can be
 // reconciled exactly against the server's accounting.
-package main
+package daemon
 
 import (
 	"fmt"

@@ -5,7 +5,7 @@
 // exactly, the in-flight gauge returns to zero, and a client that
 // disconnects mid-stream gives its slot back. Run under -race by the
 // race tier of make gate.
-package main
+package daemon
 
 import (
 	"context"

@@ -1,7 +1,7 @@
 // Unit tests of the admission policies and the EWMA-derived Retry-After
 // hint: bucket refill arithmetic under a fake clock, the policy factory,
 // the EWMA computation, and the 429 header carrying the derived value.
-package main
+package daemon
 
 import (
 	"math"

@@ -1,5 +1,5 @@
 // JSON request/response types and handlers for the clxd API.
-package main
+package daemon
 
 import (
 	"encoding/json"
@@ -33,12 +33,12 @@ type clusterResponse struct {
 	Levels   [][]clusterJSON `json:"levels,omitempty"`
 }
 
-func handleCluster(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	req, ok := decode[clusterRequest](w, r)
 	if !ok {
 		return
 	}
-	sess := clx.NewSession(req.Rows, srvOpts)
+	sess := clx.NewSession(req.Rows, s.opts)
 	resp := clusterResponse{Clusters: toClusterJSON(sess.Clusters(), true)}
 	if req.Levels {
 		for l := 0; l < sess.Levels(); l++ {
@@ -133,7 +133,7 @@ type unifyResponse struct {
 	Mappings [][]string `json:"mappings"`
 }
 
-func handleUnify(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleUnify(w http.ResponseWriter, r *http.Request) {
 	req, ok := decode[unifyRequest](w, r)
 	if !ok {
 		return
@@ -180,7 +180,7 @@ type applyResponse struct {
 	Flagged []int    `json:"flagged,omitempty"`
 }
 
-func handleApply(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
 	req, ok := decode[applyRequest](w, r)
 	if !ok {
 		return
@@ -190,12 +190,12 @@ func handleApply(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	sp.Workers = srvOpts.Workers
+	sp.Workers = s.opts.Workers
 	out, flagged := sp.Transform(req.Rows)
 	writeJSON(w, http.StatusOK, applyResponse{Output: out, Flagged: flagged})
 }
 
-func handleTransform(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleTransform(w http.ResponseWriter, r *http.Request) {
 	req, ok := decode[transformRequest](w, r)
 	if !ok {
 		return
@@ -209,7 +209,7 @@ func handleTransform(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	sess := clx.NewSession(req.Rows, srvOpts)
+	sess := clx.NewSession(req.Rows, s.opts)
 	tr, err := sess.Label(target)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)

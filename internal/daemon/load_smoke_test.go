@@ -6,7 +6,7 @@
 // deliberately generous (this is a correctness smoke, not a benchmark):
 // zero transport errors, every arrival accounted for as 200 or 429, and
 // a p99 that only a hung server would miss.
-package main
+package daemon
 
 import (
 	"context"

@@ -4,7 +4,7 @@
 // goroutines inherit the labels of the handler that spawned them, so a
 // CPU profile slices by request_id and path — and feeds the HTTP-level
 // metric series served at GET /metrics.
-package main
+package daemon
 
 import (
 	"context"

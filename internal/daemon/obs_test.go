@@ -1,7 +1,7 @@
 // Tests of the daemon observability layer: the /metrics exposition, the
 // streaming admission cap (429 + Retry-After), request-ID propagation,
 // and the structured access log.
-package main
+package daemon
 
 import (
 	"bytes"

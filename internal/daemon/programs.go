@@ -1,6 +1,6 @@
 // Handlers for the persistent program registry: synthesize-and-register,
 // inspect, delete, and the hot apply-by-id path with drift reporting.
-package main
+package daemon
 
 import (
 	"encoding/json"
@@ -78,7 +78,7 @@ func (s *server) handleProgramRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	sess := clx.NewSession(req.Rows, srvOpts)
+	sess := clx.NewSession(req.Rows, s.opts)
 	tr, err := sess.Label(target)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -107,6 +107,8 @@ func (s *server) handleProgramRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	// The write is on every healthy follower before the client hears 201.
+	s.flushReplication()
 	resp := toEntryJSON(entry, true)
 	// Unmatched rows of the synthesis column: the registered program will
 	// flag these same formats at serving time, so surface them now.
@@ -147,6 +149,7 @@ func (s *server) handleProgramDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("program %s not found", id))
 		return
 	}
+	s.flushReplication()
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 }
 
@@ -165,7 +168,7 @@ func (s *server) handleProgramApply(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res, err := s.store.Apply(id, req.Rows, srvOpts.Workers)
+	res, err := s.store.Apply(id, req.Rows, s.opts.Workers)
 	if err == progstore.ErrNotFound {
 		writeError(w, http.StatusNotFound, fmt.Errorf("program %s not found", id))
 		return

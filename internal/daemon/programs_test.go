@@ -1,6 +1,6 @@
 // End-to-end tests of the program registry endpoints: register, restart
 // recovery, hot apply with drift, and the uniform error envelope.
-package main
+package daemon
 
 import (
 	"encoding/json"

@@ -5,7 +5,7 @@
 // one JSON string per transformed row, in input order, then a single
 // trailer object carrying the stream stats (or an error frame if the
 // source turned out malformed mid-stream, after the 200 was committed).
-package main
+package daemon
 
 import (
 	"encoding/json"
@@ -71,15 +71,21 @@ func (s *server) handleProgramApplyStream(w http.ResponseWriter, r *http.Request
 	release, admitted := s.admission.Admit()
 	if !admitted {
 		streamsRejected.Inc()
+		s.rejected.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(s.streamEWMA.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Errorf("too many concurrent streams (%s admission); retry later", s.admission.Name()))
 		return
 	}
 	streamsAdmitted.Inc()
+	s.admitted.Add(1)
 	defer release()
 	streamsInFlight.Add(1)
-	defer streamsInFlight.Add(-1)
+	s.inFlight.Add(1)
+	defer func() {
+		streamsInFlight.Add(-1)
+		s.inFlight.Add(-1)
+	}()
 	streamStart := time.Now()
 	defer func() {
 		d := time.Since(streamStart)
@@ -92,7 +98,7 @@ func (s *server) handleProgramApplyStream(w http.ResponseWriter, r *http.Request
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	workers, err := intParam(q, "workers", srvOpts.Workers)
+	workers, err := intParam(q, "workers", s.opts.Workers)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -120,6 +126,13 @@ func (s *server) handleProgramApplyStream(w http.ResponseWriter, r *http.Request
 		return
 	}
 
+	// The endpoint is bidirectional: clients may still be producing rows
+	// while results flow back. Without full-duplex mode the server drains
+	// up to 256KiB of unread request body before releasing the response
+	// headers — a slow producer would deadlock against its own unsent
+	// rows, and the drained rows would vanish from the apply. Best-effort:
+	// writers that don't support it (test recorders) don't drain either.
+	http.NewResponseController(w).EnableFullDuplex()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)

@@ -1,15 +1,18 @@
 // Tests of the streaming bulk-apply endpoint: frame protocol, input
 // framings, the error envelope before the first byte vs the error frame
 // after it, the body cap, client disconnects, and goroutine hygiene.
-package main
+package daemon
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -218,4 +221,80 @@ func TestStreamApplyClientDisconnect(t *testing.T) {
 	if stats.Streaming.Streams < 1 || stats.Streaming.Errors < 1 {
 		t.Fatalf("streaming counters = %+v", stats.Streaming)
 	}
+}
+
+// TestStreamApplyFullDuplexTrickle pins the bidirectional contract over a
+// real connection: response headers and the first result frame must reach
+// a client that is still trickling request rows. Without full-duplex mode
+// the server drains 256KiB of unread request body before releasing the
+// headers (net/http's post-handler drain), which stalls a slow producer
+// behind its own unsent rows for over a minute — and silently discards
+// the drained rows from the apply.
+func TestStreamApplyFullDuplexTrickle(t *testing.T) {
+	mux, _ := testMuxServer(t)
+	hs := httptest.NewServer(mux)
+	defer hs.Close()
+
+	resp, err := http.Post(hs.URL+"/v1/programs", "application/json",
+		strings.NewReader(`{"rows":["(734) 645-8397","(734)586-7252"],`+
+			`"target":"<D>3'-'<D>3'-'<D>4","id":"duplex"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status %d", resp.StatusCode)
+	}
+
+	// Trickle one row every 2ms through a chunked body that only ends
+	// once the test has what it needs.
+	pr, pw := io.Pipe()
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	stopFeed := func() { stopOnce.Do(func() { close(stop) }) }
+	go func() {
+		defer pw.Close()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := io.WriteString(pw, "(313) 263-1192\n"); err != nil {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	defer stopFeed()
+
+	req, err := http.NewRequest("POST", hs.URL+"/v1/programs/duplex/apply/stream?chunk=1", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("stream request: %v", err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp2.StatusCode)
+	}
+	line, err := bufio.NewReader(resp2.Body).ReadString('\n')
+	if err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("first frame took %v; the stream is not full-duplex", elapsed)
+	}
+	var row string
+	if err := json.Unmarshal([]byte(line), &row); err != nil {
+		t.Fatalf("first frame %q: %v", line, err)
+	}
+	if row != "313-263-1192" {
+		t.Fatalf("first frame = %q, want %q", row, "313-263-1192")
+	}
+	stopFeed()
+	io.Copy(io.Discard, resp2.Body)
 }

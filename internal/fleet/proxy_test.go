@@ -1,0 +1,175 @@
+// Proxy backpressure contract, pinned against stub nodes: a 429's
+// Retry-After header always reaches the client exactly as the node wrote
+// it (the proxy never mints its own hint), idempotent buffered applies
+// are retried on the remaining nodes first, and streaming applies are
+// never retried.
+package fleet_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"clx/internal/fleet"
+	"clx/internal/fleet/routing"
+)
+
+// stubNode is a scripted clxd stand-in that records every request it saw.
+type stubNode struct {
+	mu      sync.Mutex
+	hits    []string // request paths in arrival order
+	handler http.HandlerFunc
+	srv     *httptest.Server
+}
+
+func newStubNode(t *testing.T, handler http.HandlerFunc) *stubNode {
+	t.Helper()
+	n := &stubNode{handler: handler}
+	n.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.mu.Lock()
+		n.hits = append(n.hits, r.URL.Path)
+		n.mu.Unlock()
+		n.handler(w, r)
+	}))
+	t.Cleanup(n.srv.Close)
+	return n
+}
+
+func (n *stubNode) hitCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.hits)
+}
+
+func busyHandler(retryAfter string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", retryAfter)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		io.WriteString(w, `{"error":"too many concurrent streams"}`+"\n")
+	}
+}
+
+func okHandler(body string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, body)
+	}
+}
+
+// newStubProxy fronts the given stubs with a round-robin proxy (the
+// policy is deterministic: request k goes to node k mod n first).
+func newStubProxy(t *testing.T, stubs ...*stubNode) (*fleet.Proxy, *httptest.Server) {
+	t.Helper()
+	var urls []string
+	for _, s := range stubs {
+		urls = append(urls, s.srv.URL)
+	}
+	pol, err := routing.New("round-robin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := fleet.NewProxy(urls, fleet.ProxyOptions{Policy: pol, ProbeTTL: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(proxy)
+	t.Cleanup(front.Close)
+	return proxy, front
+}
+
+// TestProxyApplyRetriesBusyNode: the first-picked node says 429, so the
+// proxy retries the apply on the other node and the client sees its 200 —
+// never the 429.
+func TestProxyApplyRetriesBusyNode(t *testing.T) {
+	busy := newStubNode(t, busyHandler("17"))
+	ok := newStubNode(t, okHandler(`{"rows":["a"]}`+"\n"))
+	proxy, front := newStubProxy(t, busy, ok)
+
+	resp, err := http.Post(front.URL+"/v1/programs/p1/apply", "application/json",
+		strings.NewReader(`{"rows":["x"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 after retry; body %s", resp.StatusCode, body)
+	}
+	if got := string(body); got != `{"rows":["a"]}`+"\n" {
+		t.Fatalf("body %q not forwarded verbatim", got)
+	}
+	if resp.Header.Get("Retry-After") != "" {
+		t.Fatalf("success response carries Retry-After %q", resp.Header.Get("Retry-After"))
+	}
+	if busy.hitCount() != 1 || ok.hitCount() != 1 {
+		t.Fatalf("hits: busy=%d ok=%d, want 1 and 1", busy.hitCount(), ok.hitCount())
+	}
+	if st := proxy.Stats(); st.Retries != 1 {
+		t.Fatalf("proxy retries = %d, want 1", st.Retries)
+	}
+}
+
+// TestProxyApplyAllBusyForwardsLastRetryAfter: when every node is busy the
+// client gets the last-attempted node's own Retry-After verbatim — the
+// proxy neither strips nor mints the hint.
+func TestProxyApplyAllBusyForwardsLastRetryAfter(t *testing.T) {
+	a := newStubNode(t, busyHandler("17"))
+	b := newStubNode(t, busyHandler("23"))
+	proxy, front := newStubProxy(t, a, b)
+
+	resp, err := http.Post(front.URL+"/v1/programs/p1/apply", "application/json",
+		strings.NewReader(`{"rows":["x"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	// Round-robin picks node 0 first, so node 1's hint is the one the
+	// client must see.
+	if got := resp.Header.Get("Retry-After"); got != "23" {
+		t.Fatalf("Retry-After %q, want node b's own %q", got, "23")
+	}
+	if a.hitCount() != 1 || b.hitCount() != 1 {
+		t.Fatalf("hits: a=%d b=%d, want both tried once", a.hitCount(), b.hitCount())
+	}
+	if st := proxy.Stats(); st.Retries != 1 {
+		t.Fatalf("proxy retries = %d, want 1", st.Retries)
+	}
+}
+
+// TestProxyStreamBusyNotRetried: a streaming apply is not idempotent from
+// the proxy's seat (the body already streamed out), so a 429 passes
+// through untouched and no other node is bothered.
+func TestProxyStreamBusyNotRetried(t *testing.T) {
+	a := newStubNode(t, busyHandler("9"))
+	b := newStubNode(t, busyHandler("31"))
+	proxy, front := newStubProxy(t, a, b)
+
+	resp, err := http.Post(front.URL+"/v1/programs/p1/apply/stream", "application/x-ndjson",
+		strings.NewReader("row1\nrow2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "9" {
+		t.Fatalf("Retry-After %q, want the routed node's own %q", got, "9")
+	}
+	if a.hitCount() != 1 || b.hitCount() != 0 {
+		t.Fatalf("hits: a=%d b=%d, want the stream routed once and never retried",
+			a.hitCount(), b.hitCount())
+	}
+	if st := proxy.Stats(); st.Retries != 0 {
+		t.Fatalf("proxy retries = %d, want 0 for streams", st.Retries)
+	}
+}

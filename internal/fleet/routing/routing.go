@@ -1,0 +1,115 @@
+// Package routing holds the pluggable request-routing policies a CLX
+// cluster front (cmd/clxproxy, internal/fleet.Proxy) chooses a node
+// with. A policy is a pure decision function over a snapshot of the
+// backends — it owns no sockets and does no IO — so policies are cheap
+// to test exhaustively and the differential cluster-parity suite can
+// sweep every policy knowing the only thing a policy changes is *which*
+// node serves a request, never *what* the node answers.
+//
+// Following the quantitative-objective framing (pick the route that
+// minimizes a measurable cost, not an ad-hoc heuristic), each policy
+// names its objective:
+//
+//   - round-robin: minimize worst-case drift from a uniform request
+//     count, with zero state beyond a cursor.
+//   - least-loaded: minimize the routed node's streams-in-flight gauge
+//     (scraped from /v1/stats), i.e. queueing cost now.
+//   - affinity: minimize compiled-matcher / automaton / rematch cache
+//     misses by pinning each program id to a stable owner (rendezvous
+//     hashing), i.e. cache-miss cost over the request stream.
+package routing
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+)
+
+// Backend is the routing-time snapshot of one node: its stable identity
+// (the hash key affinity pins programs to) and its current load (the
+// clx_streams_in_flight gauge, plus any in-flight requests the proxy
+// itself has routed but not yet seen complete).
+type Backend struct {
+	ID       string
+	InFlight int64
+}
+
+// Policy picks which backend serves one request. Pick returns an index
+// into backends; backends is never empty and the order is stable across
+// calls (the proxy's configured node order). programID is empty for
+// requests not tied to a registered program (stateless compute).
+type Policy interface {
+	Name() string
+	Pick(programID string, backends []Backend) int
+}
+
+// Names lists the built-in policies the factory accepts.
+var Names = []string{"round-robin", "least-loaded", "affinity"}
+
+// New builds a policy by name.
+func New(name string) (Policy, error) {
+	switch name {
+	case "", "round-robin":
+		return &RoundRobin{}, nil
+	case "least-loaded":
+		return LeastLoaded{}, nil
+	case "affinity":
+		return Affinity{}, nil
+	default:
+		return nil, fmt.Errorf("routing: unknown policy %q (want round-robin, least-loaded, or affinity)", name)
+	}
+}
+
+// RoundRobin cycles through the backends in order, ignoring program and
+// load. The cursor is shared across programs: the objective is a uniform
+// request count per node, not per program.
+type RoundRobin struct {
+	cursor atomic.Uint64
+}
+
+func (p *RoundRobin) Name() string { return "round-robin" }
+
+func (p *RoundRobin) Pick(_ string, backends []Backend) int {
+	return int((p.cursor.Add(1) - 1) % uint64(len(backends)))
+}
+
+// LeastLoaded picks the backend with the fewest streams in flight,
+// breaking ties by lowest index so the decision is deterministic for a
+// given snapshot.
+type LeastLoaded struct{}
+
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+func (LeastLoaded) Pick(_ string, backends []Backend) int {
+	best := 0
+	for i, b := range backends {
+		if b.InFlight < backends[best].InFlight {
+			best = i
+		}
+	}
+	return best
+}
+
+// Affinity pins each program id to a stable owner via rendezvous
+// (highest-random-weight) hashing: every (program, backend) pair gets a
+// deterministic weight and the heaviest backend owns the program. Unlike
+// a modulo hash, removing one node only reassigns the programs that node
+// owned — every other node keeps its hot compiled-matcher, automaton,
+// and rematch caches.
+type Affinity struct{}
+
+func (Affinity) Name() string { return "affinity" }
+
+func (Affinity) Pick(programID string, backends []Backend) int {
+	best, bestW := 0, uint64(0)
+	for i, b := range backends {
+		h := fnv.New64a()
+		h.Write([]byte(programID))
+		h.Write([]byte{0xff}) // separator: ("ab","c") must not collide with ("a","bc")
+		h.Write([]byte(b.ID))
+		if w := h.Sum64(); i == 0 || w > bestW {
+			best, bestW = i, w
+		}
+	}
+	return best
+}

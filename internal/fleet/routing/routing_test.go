@@ -1,0 +1,148 @@
+// Policy decision tests: uniformity for round-robin, objective
+// minimization for least-loaded, and the two properties affinity exists
+// for — stability (same program, same owner, always) and minimal
+// reassignment when a node leaves.
+package routing
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func backends(n int) []Backend {
+	bs := make([]Backend, n)
+	for i := range bs {
+		bs[i] = Backend{ID: fmt.Sprintf("node-%d", i)}
+	}
+	return bs
+}
+
+func TestFactory(t *testing.T) {
+	for _, name := range append([]string{""}, Names...) {
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if name != "" && p.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := New("random"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRoundRobinUniform(t *testing.T) {
+	p := &RoundRobin{}
+	bs := backends(4)
+	counts := make([]int, 4)
+	for i := 0; i < 400; i++ {
+		counts[p.Pick("p1", bs)]++
+	}
+	for i, c := range counts {
+		if c != 100 {
+			t.Errorf("node %d picked %d times, want 100", i, c)
+		}
+	}
+}
+
+func TestRoundRobinConcurrentCoversAll(t *testing.T) {
+	p := &RoundRobin{}
+	bs := backends(3)
+	var mu sync.Mutex
+	seen := map[int]int{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := p.Pick("", bs)
+				mu.Lock()
+				seen[k]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for i := 0; i < 3; i++ {
+		if seen[i] != 800 {
+			t.Errorf("node %d picked %d times, want exactly 800 (atomic cursor)", i, seen[i])
+		}
+		total += seen[i]
+	}
+	if total != 2400 {
+		t.Errorf("total picks %d, want 2400", total)
+	}
+}
+
+func TestLeastLoadedPicksMinimum(t *testing.T) {
+	p := LeastLoaded{}
+	bs := backends(3)
+	bs[0].InFlight, bs[1].InFlight, bs[2].InFlight = 5, 2, 9
+	if got := p.Pick("p1", bs); got != 1 {
+		t.Errorf("Pick = %d, want 1 (least loaded)", got)
+	}
+	// Deterministic tie-break: lowest index.
+	bs[0].InFlight, bs[1].InFlight, bs[2].InFlight = 3, 3, 3
+	if got := p.Pick("p1", bs); got != 0 {
+		t.Errorf("tied Pick = %d, want 0", got)
+	}
+}
+
+func TestAffinityStableAndSpread(t *testing.T) {
+	p := Affinity{}
+	bs := backends(4)
+	owners := map[string]int{}
+	counts := make([]int, 4)
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("p%06d", i)
+		owner := p.Pick(id, bs)
+		owners[id] = owner
+		counts[owner]++
+		for rep := 0; rep < 3; rep++ {
+			if again := p.Pick(id, bs); again != owner {
+				t.Fatalf("program %s moved from node %d to %d with no topology change", id, owner, again)
+			}
+		}
+	}
+	// Rendezvous hashing spreads ownership: no node owns everything and
+	// none is starved (200 programs over 4 nodes; a uniform hash puts ~50
+	// on each — allow a wide band, fail only on gross skew).
+	for i, c := range counts {
+		if c == 0 || c > 150 {
+			t.Errorf("node %d owns %d/200 programs — not a spreading hash", i, c)
+		}
+	}
+}
+
+func TestAffinityMinimalReassignment(t *testing.T) {
+	p := Affinity{}
+	all := backends(4)
+	without := all[:3] // node-3 leaves
+	moved := 0
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("p%06d", i)
+		before := p.Pick(id, all)
+		after := p.Pick(id, without)
+		if all[before].ID != "node-3" && without[after].ID != all[before].ID {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d programs owned by surviving nodes were reassigned; rendezvous hashing should move only the lost node's programs", moved)
+	}
+}
+
+func TestAffinityEmptyProgramIDIsStable(t *testing.T) {
+	p := Affinity{}
+	bs := backends(3)
+	first := p.Pick("", bs)
+	for i := 0; i < 5; i++ {
+		if got := p.Pick("", bs); got != first {
+			t.Fatalf("empty program id not stable: %d then %d", first, got)
+		}
+	}
+}

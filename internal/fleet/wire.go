@@ -1,0 +1,22 @@
+// Replication wire envelopes shared by the leader-side shipper here and
+// the follower-side endpoints in internal/daemon. The payloads
+// themselves — progstore.Record and progstore.State — are the registry's
+// own WAL and snapshot formats; replication adds only these thin frames.
+package fleet
+
+import "clx/internal/progstore"
+
+// WALShipRequest is the POST /v1/replication/wal body: a contiguous,
+// Idx-ordered batch of records.
+type WALShipRequest struct {
+	Records []progstore.Record `json:"records"`
+}
+
+// ReplResponse is the uniform response to both replication posts. On 200
+// LastIdx acknowledges the follower's new log position; on 409 it names
+// the position the follower actually holds (the leader resyncs from a
+// snapshot); on other errors Error explains.
+type ReplResponse struct {
+	LastIdx int64  `json:"last_idx"`
+	Error   string `json:"error,omitempty"`
+}

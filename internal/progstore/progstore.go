@@ -104,6 +104,22 @@ type Store struct {
 	walRecords   int // records appended since the last snapshot
 	compactEvery int
 
+	// lastIdx is the replication log index of the newest mutation. Every
+	// Register/Delete (and every follower ApplyRecord) advances it by one,
+	// so the sequence of records a leader ships is gap-free and a follower
+	// can detect a missed record by arithmetic alone.
+	lastIdx int64
+
+	// onAppend, when set, observes every locally originated record after
+	// its durable WAL append — the leader-side replication tap. Called with
+	// mu held so observed records are totally ordered by Idx; the hook must
+	// not call back into the store.
+	onAppend func(Record)
+
+	// Follower-side replication accounting (see ReplicationStats).
+	recordsApplied     int64
+	snapshotsInstalled int64
+
 	now func() int64
 }
 
@@ -207,7 +223,10 @@ func (s *Store) Register(program json.RawMessage, meta Meta) (Entry, error) {
 	// an id the store cannot recover after a crash.
 	s.entries[e.ID] = e
 	s.loaded[e.ID] = &loadedProgram{version: e.Version, sp: sp, target: sp.Target()}
-	if err := s.append(walRecord{Op: opPut, Seq: s.seq, Entry: e}); err != nil {
+	s.lastIdx++
+	rec := Record{Op: OpPut, Seq: s.seq, Idx: s.lastIdx, Entry: e}
+	if err := s.append(rec); err != nil {
+		s.lastIdx--
 		if existed {
 			s.entries[e.ID] = prev
 			delete(s.loaded, e.ID)
@@ -217,6 +236,9 @@ func (s *Store) Register(program json.RawMessage, meta Meta) (Entry, error) {
 			s.order = s.order[:len(s.order)-1]
 		}
 		return Entry{}, err
+	}
+	if s.onAppend != nil {
+		s.onAppend(rec)
 	}
 	return *e, nil
 }
@@ -270,12 +292,18 @@ func (s *Store) Delete(id string) (bool, error) {
 			break
 		}
 	}
-	if err := s.append(walRecord{Op: opDelete, Seq: s.seq, ID: id}); err != nil {
+	s.lastIdx++
+	rec := Record{Op: OpDelete, Seq: s.seq, Idx: s.lastIdx, ID: id}
+	if err := s.append(rec); err != nil {
+		s.lastIdx--
 		s.entries[id] = prev
 		if pos >= 0 {
 			s.order = append(s.order[:pos], append([]string{id}, s.order[pos:]...)...)
 		}
 		return false, err
+	}
+	if s.onAppend != nil {
+		s.onAppend(rec)
 	}
 	return true, nil
 }
@@ -314,6 +342,19 @@ func (s *Store) program(id string) (*loadedProgram, int, error) {
 // ErrNotFound is returned for operations on an unknown program id.
 var ErrNotFound = fmt.Errorf("progstore: program not found")
 
+// SetCompactEvery overrides the snapshot cadence (n WAL records per
+// compaction). Aggressive cadences are how tests force compaction to race
+// concurrent writers and replication shipping; n <= 0 restores the
+// default.
+func (s *Store) SetCompactEvery(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 {
+		n = CompactEvery
+	}
+	s.compactEvery = n
+}
+
 // Flush compacts the WAL into a snapshot, leaving an empty log. Called on
 // graceful shutdown so restart recovery is a single snapshot read.
 func (s *Store) Flush() error {
@@ -343,7 +384,7 @@ func (s *Store) Close() error {
 // append writes one WAL record (fsynced) and triggers compaction at the
 // configured cadence. Callers hold the write lock. Ephemeral stores are a
 // no-op.
-func (s *Store) append(rec walRecord) error {
+func (s *Store) append(rec Record) error {
 	if s.dir == "" || s.wal == nil {
 		return nil
 	}
@@ -364,9 +405,12 @@ func (s *Store) append(rec walRecord) error {
 }
 
 // snapshotDoc is the snapshot.json document: the full registry plus the id
-// allocator, so recovery is snapshot ∘ WAL replay.
+// allocator and the replication log index, so recovery is snapshot ∘ WAL
+// replay. It is also the replication snapshot a leader pushes to a
+// follower that cannot be caught up record by record (see State).
 type snapshotDoc struct {
 	Seq     int64    `json:"seq"`
+	LastIdx int64    `json:"last_idx,omitempty"`
 	Order   []string `json:"order"`
 	Entries []*Entry `json:"entries"`
 }
@@ -378,7 +422,7 @@ func (s *Store) compactLocked() error {
 		mCompactions.Inc()
 		mCompactDur.Observe(time.Since(t0))
 	}(time.Now())
-	doc := snapshotDoc{Seq: s.seq, Order: append([]string(nil), s.order...)}
+	doc := snapshotDoc{Seq: s.seq, LastIdx: s.lastIdx, Order: append([]string(nil), s.order...)}
 	for _, id := range s.order {
 		doc.Entries = append(doc.Entries, s.entries[id])
 	}
@@ -429,6 +473,7 @@ func (s *Store) loadSnapshot() error {
 		return fmt.Errorf("progstore: snapshot corrupt: %w", err)
 	}
 	s.seq = doc.Seq
+	s.lastIdx = doc.LastIdx
 	for _, e := range doc.Entries {
 		s.entries[e.ID] = e
 	}
@@ -453,29 +498,45 @@ func (s *Store) replayWAL() (int, error) {
 		return 0, err
 	}
 	for _, rec := range recs {
-		if rec.Seq > s.seq {
-			s.seq = rec.Seq
+		s.applyRecordLocked(rec)
+	}
+	return len(recs), nil
+}
+
+// applyRecordLocked folds one record into the in-memory state — the
+// single mutation path shared by crash-recovery replay and follower
+// replication, so the two can never diverge. Callers hold the write
+// lock. Idempotent over duplicate records (a retried append, a re-shipped
+// replication record).
+func (s *Store) applyRecordLocked(rec Record) {
+	if rec.Seq > s.seq {
+		s.seq = rec.Seq
+	}
+	if rec.Idx > s.lastIdx {
+		s.lastIdx = rec.Idx
+	}
+	switch rec.Op {
+	case OpPut:
+		if rec.Entry == nil {
+			return
 		}
-		switch rec.Op {
-		case opPut:
-			if rec.Entry == nil {
-				continue
-			}
-			if _, ok := s.entries[rec.Entry.ID]; !ok {
-				s.order = append(s.order, rec.Entry.ID)
-			}
-			s.entries[rec.Entry.ID] = rec.Entry
-		case opDelete:
-			if _, ok := s.entries[rec.ID]; ok {
-				delete(s.entries, rec.ID)
-				for i, oid := range s.order {
-					if oid == rec.ID {
-						s.order = append(s.order[:i], s.order[i+1:]...)
-						break
-					}
+		if _, ok := s.entries[rec.Entry.ID]; !ok {
+			s.order = append(s.order, rec.Entry.ID)
+		}
+		s.entries[rec.Entry.ID] = rec.Entry
+		// Replay and replication bypass Register's cache pre-fill; drop any
+		// stale decode so the next apply re-parses the new version.
+		delete(s.loaded, rec.Entry.ID)
+	case OpDelete:
+		if _, ok := s.entries[rec.ID]; ok {
+			delete(s.entries, rec.ID)
+			delete(s.loaded, rec.ID)
+			for i, oid := range s.order {
+				if oid == rec.ID {
+					s.order = append(s.order[:i], s.order[i+1:]...)
+					break
 				}
 			}
 		}
 	}
-	return len(recs), nil
 }

@@ -1,0 +1,236 @@
+// In-package tests of the store-as-replica surface: the onAppend tap,
+// the gap-free replication log, ApplyRecord's dedupe / out-of-order /
+// durability contracts, snapshot install, and the fingerprint that the
+// cluster suites build on. The fleet-level tests drive the same API over
+// HTTP; these pin the store-local semantics directly.
+package progstore
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// leaderAndTap opens an ephemeral store with a recording replication tap.
+func leaderAndTap(t *testing.T) (*Store, *[]Record) {
+	t.Helper()
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	var shipped []Record
+	s.SetOnAppend(func(rec Record) { shipped = append(shipped, rec) })
+	return s, &shipped
+}
+
+func TestOnAppendTapOrderAndContents(t *testing.T) {
+	s, shipped := leaderAndTap(t)
+	prog := makeProgram(t, phoneRows, phoneTarget)
+
+	e1, err := s.Register(prog, Meta{Name: "phones"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := s.Register(prog, Meta{ID: "explicit-id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s.Delete(e1.ID); err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+
+	recs := *shipped
+	if len(recs) != 3 {
+		t.Fatalf("tap observed %d records, want 3", len(recs))
+	}
+	// Idx is gap-free and starts at 1; ops and payloads match the
+	// mutations that produced them.
+	for i, rec := range recs {
+		if rec.Idx != int64(i+1) {
+			t.Fatalf("record %d has idx %d, want %d", i, rec.Idx, i+1)
+		}
+	}
+	if recs[0].Op != OpPut || recs[0].Entry == nil || recs[0].Entry.ID != e1.ID {
+		t.Fatalf("record 0 = %+v, want put of %s", recs[0], e1.ID)
+	}
+	if recs[1].Op != OpPut || recs[1].Entry == nil || recs[1].Entry.ID != e2.ID {
+		t.Fatalf("record 1 = %+v, want put of %s", recs[1], e2.ID)
+	}
+	if recs[2].Op != OpDelete || recs[2].ID != e1.ID {
+		t.Fatalf("record 2 = %+v, want delete of %s", recs[2], e1.ID)
+	}
+	if s.LastIdx() != 3 {
+		t.Fatalf("leader LastIdx = %d, want 3", s.LastIdx())
+	}
+
+	// Removing the tap stops observation but the log keeps advancing.
+	s.SetOnAppend(nil)
+	if _, err := s.Register(prog, Meta{Name: "untapped"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*shipped) != 3 || s.LastIdx() != 4 {
+		t.Fatalf("after detach: %d observed (want 3), lastIdx %d (want 4)", len(*shipped), s.LastIdx())
+	}
+}
+
+func TestApplyRecordConvergesDedupesAndRejectsGaps(t *testing.T) {
+	leader, shipped := leaderAndTap(t)
+	prog := makeProgram(t, phoneRows, phoneTarget)
+	e1, err := leader.Register(prog, Meta{Name: "phones"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Register(prog, Meta{ID: "keeper"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Delete(e1.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	follower, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	recs := *shipped
+	// A gap is refused before any state changes.
+	if err := follower.ApplyRecord(recs[2]); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("gap apply returned %v, want ErrOutOfOrder", err)
+	}
+	for _, rec := range recs {
+		if err := follower.ApplyRecord(rec); err != nil {
+			t.Fatalf("apply idx %d: %v", rec.Idx, err)
+		}
+	}
+	// Re-shipped records are ignored, not double-applied.
+	if err := follower.ApplyRecord(recs[1]); err != nil {
+		t.Fatalf("duplicate apply: %v", err)
+	}
+
+	if got, want := follower.Fingerprint(), leader.Fingerprint(); got != want {
+		t.Fatalf("fingerprints diverge: follower %s leader %s", got, want)
+	}
+	if follower.Len() != leader.Len() || follower.Len() != 1 {
+		t.Fatalf("follower %d entries, leader %d, want 1", follower.Len(), leader.Len())
+	}
+	if _, ok := follower.Get("keeper"); !ok {
+		t.Fatal("follower missing surviving entry")
+	}
+	rs := follower.ReplicationStats()
+	if rs.LastIdx != 3 || rs.RecordsApplied != 3 || rs.SnapshotsInstalled != 0 {
+		t.Fatalf("follower ledger %+v, want last_idx 3, applied 3, snapshots 0", rs)
+	}
+	// The applied entries serve the hot path like local ones.
+	res, err := follower.Apply("keeper", []string{"(313) 263-1192"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != "313-263-1192" {
+		t.Fatalf("follower apply = %q", res.Output[0])
+	}
+}
+
+func TestInstallStateResyncsAndPersists(t *testing.T) {
+	leader, shipped := leaderAndTap(t)
+	prog := makeProgram(t, phoneRows, phoneTarget)
+	for i := 0; i < 3; i++ {
+		if _, err := leader.Register(prog, Meta{Name: "phones"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dir := filepath.Join(t.TempDir(), "follower")
+	follower, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison the follower with unrelated state; the install must replace
+	// it wholesale.
+	if _, err := follower.Register(prog, Meta{ID: "stale"}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := follower.InstallState(leader.State()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := follower.Fingerprint(), leader.Fingerprint(); got != want {
+		t.Fatalf("fingerprints diverge after install: %s vs %s", got, want)
+	}
+	if _, ok := follower.Get("stale"); ok {
+		t.Fatal("stale entry survived the install")
+	}
+	rs := follower.ReplicationStats()
+	if rs.SnapshotsInstalled != 1 || rs.LastIdx != 3 {
+		t.Fatalf("ledger %+v, want 1 snapshot at last_idx 3", rs)
+	}
+
+	// Shipping resumes from the snapshot's index...
+	if _, err := leader.Register(prog, Meta{ID: "after-sync"}); err != nil {
+		t.Fatal(err)
+	}
+	recs := *shipped
+	tail := recs[len(recs)-1]
+	if err := follower.ApplyRecord(tail); err != nil {
+		t.Fatalf("post-install apply: %v", err)
+	}
+
+	// ...and a follower restart recovers installed state ∘ WAL replay,
+	// exactly like a leader crash recovery.
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if got, want := reopened.Fingerprint(), leader.Fingerprint(); got != want {
+		t.Fatalf("fingerprints diverge after follower restart: %s vs %s", got, want)
+	}
+	if _, ok := reopened.Get("after-sync"); !ok {
+		t.Fatal("restarted follower lost the post-install record")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	prog := makeProgram(t, phoneRows, phoneTarget)
+	a, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("empty stores should have equal fingerprints")
+	}
+	if _, err := a.Register(prog, Meta{ID: "p1"}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprint ignored a registration")
+	}
+	if _, err := b.Register(prog, Meta{ID: "p1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Same mutations, but b's entry has its own created-at; equality is
+	// only guaranteed for replicated entries, which carry the leader's
+	// bytes. Replicate properly and the digests match.
+	c, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.InstallState(a.State()); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Fatal("replicated store fingerprint diverges from its leader")
+	}
+}

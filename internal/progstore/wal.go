@@ -1,7 +1,7 @@
 // Append-only JSON-lines write-ahead log. One record per line:
 //
-//	{"op":"put","seq":12,"entry":{...}}    register / version bump
-//	{"op":"del","seq":12,"id":"p000003"}   delete
+//	{"op":"put","seq":12,"idx":17,"entry":{...}}    register / version bump
+//	{"op":"del","seq":12,"idx":18,"id":"p000003"}   delete
 //
 // Appends are fsynced before the mutating call returns, so an
 // acknowledged registration survives a crash. Replay tolerates a partial
@@ -11,6 +11,12 @@
 // of the last intact record. A malformed record anywhere earlier is
 // corruption, not a crash artifact, and aborts recovery loudly rather
 // than silently dropping acknowledged writes.
+//
+// The JSON-lines record doubles as the replication wire format: a leader
+// ships exactly the records it appended, and a follower applies them
+// through ApplyRecord — the same mutation path crash recovery replays —
+// so "what a follower applies" and "what a restart recovers" can never
+// drift apart.
 package progstore
 
 import (
@@ -21,14 +27,19 @@ import (
 )
 
 const (
-	opPut    = "put"
-	opDelete = "del"
+	// OpPut registers or version-bumps an entry; OpDelete removes one.
+	OpPut    = "put"
+	OpDelete = "del"
 )
 
-// walRecord is one log line.
-type walRecord struct {
+// Record is one log line — and one replication message. Idx is the
+// store's replication log index: every mutation gets the next index, so
+// a follower can detect gaps (a missed record means it must resync from
+// a snapshot) and idempotently ignore records it already holds.
+type Record struct {
 	Op    string `json:"op"`
 	Seq   int64  `json:"seq"`
+	Idx   int64  `json:"idx"`
 	Entry *Entry `json:"entry,omitempty"`
 	ID    string `json:"id,omitempty"`
 }
@@ -47,7 +58,7 @@ func openWAL(path string) (*walFile, error) {
 }
 
 // Append writes one record and fsyncs.
-func (w *walFile) Append(rec walRecord) error {
+func (w *walFile) Append(rec Record) error {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetEscapeHTML(false) // keep "<D>3" readable
@@ -83,7 +94,7 @@ func (w *walFile) Close() error { return w.f.Close() }
 // truncated away in place so the next append starts on a clean record
 // boundary. A malformed record *followed by* intact records fails
 // recovery: that is corruption, not a crash artifact.
-func replay(path string) ([]walRecord, error) {
+func replay(path string) ([]Record, error) {
 	raw, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil, nil
@@ -93,7 +104,7 @@ func replay(path string) ([]walRecord, error) {
 	}
 
 	var (
-		recs []walRecord
+		recs []Record
 		good int // offset just past the last intact record
 	)
 	for off := 0; off < len(raw); {
@@ -102,7 +113,7 @@ func replay(path string) ([]walRecord, error) {
 			break // newline-less tail: partial append
 		}
 		line := raw[off : off+nl]
-		var rec walRecord
+		var rec Record
 		if err := json.Unmarshal(line, &rec); err != nil || rec.Op == "" {
 			if off+nl+1 < len(raw) {
 				return nil, fmt.Errorf("progstore: wal corrupt at offset %d: intact records follow a malformed record", off)
