@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: test race gate cover fuzz-smoke apply-parity profile-parity bench bench-profile bench-check pipeline profile bench-store bench-stream bench-obs obs-smoke bench-apply load-smoke bench-load cluster-smoke cluster-parity
+.PHONY: test race gate cover fuzz-smoke apply-parity profile-parity bench bench-profile bench-check pipeline profile bench-store bench-stream bench-obs obs-smoke bench-apply load-smoke bench-load cluster-smoke cluster-parity session-smoke
 
 # Tier-1: vet + build + unit tests (ROADMAP.md contract).
 test:
@@ -22,7 +22,7 @@ race:
 # 10s-per-target fuzz smoke over the seed corpora, the automaton-vs-
 # reference apply-parity smoke, the metrics-overhead smoke test, the
 # load-harness smoke, and the cluster smoke.
-gate: test race cover fuzz-smoke apply-parity profile-parity obs-smoke load-smoke cluster-smoke
+gate: test race cover fuzz-smoke apply-parity profile-parity obs-smoke load-smoke cluster-smoke session-smoke
 
 # Apply-parity smoke: the byte-automaton engine must produce byte-identical
 # output (rows, flagged indices, errors) to the retained backtracking
@@ -118,6 +118,15 @@ load-smoke:
 # exact, under the race detector.
 cluster-smoke:
 	$(GO) test -race -count=1 -run 'TestClusterSmoke' ./internal/fleet
+
+# Session smoke: the full stateful-session loop over HTTP — create,
+# clusters, append, label, ranked repair candidates, pick, commit —
+# ending in byte-parity between the committed program's
+# /v1/programs/{id}/apply output and the library path, plus exact
+# session-counter conservation in /v1/stats, under the race detector.
+session-smoke:
+	$(GO) test -race -count=1 -run 'TestSessionSmoke|TestClusterSessionLoop' \
+		./internal/daemon ./internal/fleet
 
 # Cluster parity, full matrix: every routing policy × node count {1,2,4}
 # over the whole benchmark suite, asserting byte-identical apply and

@@ -199,7 +199,15 @@ type Cluster struct {
 }
 
 // Session is a Cluster–Label–Transform session over one column of data.
+//
+// A Session is not goroutine-safe: callers that share one across
+// goroutines (the clxd session endpoints do) must serialize access —
+// internal/sessionstore holds one mutex per live session for exactly
+// this.
 type Session struct {
+	// data is the session-owned column: NewSession copies the caller's
+	// slice in and Data copies out, so no external code ever aliases it.
+	// It is the same backing slice as h.Data at all times.
 	data  []string
 	opts  Options
 	h     *cluster.Hierarchy
@@ -208,6 +216,11 @@ type Session struct {
 	// first AppendAndReprofile; later appends reuse it so re-profiling
 	// costs O(appended rows), not O(column).
 	ix *cluster.Index
+	// gen counts the column-changing re-profiles: it starts at 0 and
+	// advances once per non-empty AppendAndReprofile. Transformations
+	// record the generation they were labeled at (Transformation.Stale
+	// compares the two).
+	gen uint64
 }
 
 // ProfileStats describes the work the Cluster phase did: input and
@@ -243,15 +256,18 @@ func profileStatsOf(st *cluster.Stats) ProfileStats {
 }
 
 // NewSession profiles data into pattern clusters (the Cluster phase).
+// The input slice is copied: mutating it afterwards never changes what
+// the session profiles (strings themselves are immutable).
 func NewSession(data []string, opts ...Options) *Session {
 	defer func(t0 time.Time) { obsProfileDur.Observe(time.Since(t0)) }(time.Now())
 	o := DefaultOptions()
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	h, st := cluster.ProfileWithStats(data, o.clusterOptions())
+	owned := append([]string(nil), data...)
+	h, st := cluster.ProfileWithStats(owned, o.clusterOptions())
 	recordProfile(st, false, 0)
-	return &Session{data: data, opts: o, h: h, stats: profileStatsOf(st)}
+	return &Session{data: owned, opts: o, h: h, stats: profileStatsOf(st)}
 }
 
 // AppendAndReprofile appends rows to the session's column and re-profiles
@@ -269,6 +285,13 @@ func NewSession(data []string, opts ...Options) *Session {
 // synthesize over the grown column. The updated ProfileStats (whose Index
 // and Tokenize phases cover only the appended rows' work) is returned.
 func (s *Session) AppendAndReprofile(rows []string) ProfileStats {
+	// An empty append changes nothing: return the current stats without
+	// building the index, re-running any profile phase, or counting a
+	// profile pass. (The first-call indexing pass is paid by the first
+	// append that actually carries rows.)
+	if len(rows) == 0 {
+		return s.stats
+	}
 	defer func(t0 time.Time) { obsProfileDur.Observe(time.Since(t0)) }(time.Now())
 	if s.ix == nil {
 		s.ix = cluster.NewIndex(s.opts.clusterOptions())
@@ -280,14 +303,25 @@ func (s *Session) AppendAndReprofile(rows []string) ProfileStats {
 	s.h = h
 	s.data = h.Data
 	s.stats = profileStatsOf(st)
+	s.gen++
 	return s.stats
 }
 
 // ProfileStats reports how much work profiling this session's column took.
 func (s *Session) ProfileStats() ProfileStats { return s.stats }
 
-// Data returns the session's input column.
-func (s *Session) Data() []string { return s.h.Data }
+// Data returns a copy of the session's current column. Together with the
+// input copy NewSession takes, the copy keeps callers from aliasing
+// session-internal state: mutating the returned slice — or the slice
+// originally passed to NewSession — never changes what the session
+// profiles or transforms.
+func (s *Session) Data() []string { return append([]string(nil), s.data...) }
+
+// Generation reports how many times the session's column has changed:
+// 0 at NewSession, +1 per non-empty AppendAndReprofile. A Transformation
+// records the generation it was labeled at; comparing the two is how the
+// session API detects transformations operating on a stale snapshot.
+func (s *Session) Generation() uint64 { return s.gen }
 
 // Clusters returns the leaf pattern clusters in first-seen order — the
 // pattern list shown to the user (paper Fig. 3).
@@ -336,7 +370,7 @@ func (s *Session) Label(target Pattern) (*Transformation, error) {
 	t0 := time.Now()
 	res := synth.Synthesize(s.h, target, s.opts.synthOptions())
 	obsSynthDur.Observe(time.Since(t0))
-	return &Transformation{sess: s, data: s.h.Data, res: res}, nil
+	return &Transformation{sess: s, data: s.h.Data, res: res, gen: s.gen}, nil
 }
 
 // Transformation is a synthesized data pattern transformation: a UniFi
@@ -348,10 +382,27 @@ type Transformation struct {
 	// the session may grow past it via AppendAndReprofile.
 	data []string
 	res  *synth.Result
+	// gen is the session generation at Label time (see Stale).
+	gen uint64
 	// guards holds content-conditional overrides keyed by source pattern
 	// (RepairWithExamples).
 	guards map[string][]unifi.GuardedCase
 }
+
+// Generation returns the session generation this transformation was
+// labeled at.
+func (t *Transformation) Generation() uint64 { return t.gen }
+
+// Stale reports whether the session's column has grown past the snapshot
+// this transformation was labeled against (a non-empty AppendAndReprofile
+// happened after Label). A stale transformation still runs over its
+// snapshot — that contract is pinned by
+// TestTransformationSnapshotSurvivesAppend — but API layers should
+// surface the condition instead of silently transforming old data: the
+// clxd session endpoints answer repair and commit on a stale
+// transformation with a documented 409, and the fix is to call
+// Session.Label again, re-synthesizing over the grown column.
+func (t *Transformation) Stale() bool { return t.gen != t.sess.gen }
 
 // Target returns the labeled target pattern.
 func (t *Transformation) Target() Pattern { return t.res.Target }

@@ -31,6 +31,16 @@
 //	clx check -program prog.json -expect want.txt [-file data.txt]
 //	    regression-test a saved program: apply it and diff against the
 //	    expected column, exiting non-zero on any mismatch
+//	clx session -addr http://localhost:8080 -target P [-file data.txt]
+//	    [-append more.txt] [-candidates 0] [-repair 0=1] [-examples "a=>b"]
+//	    [-commit -name label] [-keep]
+//	    drive a clxd daemon's stateful session API through the whole loop:
+//	    upload the column, print its clusters, optionally append a second
+//	    file, label the target, print the quantitatively-ranked repair
+//	    candidates (residual rows, edit distance, description length),
+//	    apply picks or example feedback, and commit the verified program
+//	    into the daemon's registry; the session is deleted at exit unless
+//	    -keep
 //
 // The CLI also speaks the clxd program-registry format. With -store <dir>
 // (the same directory a clxd -store daemon serves), transform registers
@@ -91,6 +101,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	name := fs.String("name", "", "human label for the registered program (transform)")
 	streamFlag := fs.Bool("stream", false,
 		"apply in streaming mode: bounded memory, input is never materialized (apply -store/-id or -program)")
+	addr := fs.String("addr", "", "clxd base URL for the session subcommand, e.g. http://localhost:8080")
+	appendFile := fs.String("append", "", "second column file appended to the session after create")
+	candidates := fs.Int("candidates", -1, "print ranked repair candidates for this source index (session)")
+	commitFlag := fs.Bool("commit", false, "commit the labeled program into the daemon registry (session; label via -name)")
+	examples := fs.String("examples", "", "comma-separated input=>output example repairs (session)")
+	keep := fs.Bool("keep", false, "leave the session on the daemon instead of deleting it at exit")
 	ndjson := fs.Bool("ndjson", false,
 		"streaming mode only: parse the input as NDJSON, one JSON string per line")
 	chunk := fs.Int("chunk", 0, "rows per chunk in streaming mode (0 = default)")
@@ -147,6 +163,25 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	data, err := readColumn(*file, stdin, *csvMode, *col, *header)
 	if err != nil {
 		return err
+	}
+	if cmd == "session" {
+		// The session subcommand uploads the column to a clxd daemon and
+		// drives the interactive loop over HTTP — profiling, labeling, and
+		// repair all happen server-side, so no local session is built.
+		return runSession(stdout, stderr, sessionCLI{
+			addr:       *addr,
+			target:     *target,
+			repairSpec: *repair,
+			examples:   *examples,
+			appendFile: *appendFile,
+			candidates: *candidates,
+			commitName: *name,
+			commit:     *commitFlag,
+			keep:       *keep,
+			csvMode:    *csvMode,
+			col:        *col,
+			header:     *header,
+		}, data)
 	}
 	sess := clx.NewSession(data)
 

@@ -1,0 +1,279 @@
+// The session subcommand drives a clxd daemon's stateful interactive
+// session API (/v1/sessions) through the paper's loop in one shot:
+// create from the uploaded column, browse clusters, optionally append a
+// second file, label a target, print the quantitatively-ranked repair
+// candidates, apply repair picks or example feedback, and commit the
+// verified program into the daemon's registry. The column is profiled
+// on the server — unlike every other subcommand, no local clx.Session
+// is built.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// sessionCLI carries the flag values the session subcommand consumes.
+type sessionCLI struct {
+	addr       string // daemon base URL
+	target     string // label target (optional: without it the run stops at clusters)
+	repairSpec string // source=alt picks, comma-separated
+	examples   string // in=>out example feedback, comma-separated
+	appendFile string // second column file to append after create
+	candidates int    // source index to print ranked candidates for (-1 = off)
+	commitName string // registry label for the committed program
+	commit     bool   // commit the transformation into the registry
+	keep       bool   // leave the session on the daemon at exit
+	csvMode    bool
+	col        int
+	header     bool
+}
+
+// sessionHTTP performs one JSON call against the daemon, decoding the
+// uniform {"error": "..."} envelope into a CLI error on non-2xx. A 429
+// surfaces the server's Retry-After hint.
+func sessionHTTP(method, url string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(raw))
+		if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
+			msg = envelope.Error
+		}
+		if ra := resp.Header.Get("Retry-After"); resp.StatusCode == http.StatusTooManyRequests && ra != "" {
+			return fmt.Errorf("%s %s: %d: %s (retry after %ss)", method, url, resp.StatusCode, msg, ra)
+		}
+		return fmt.Errorf("%s %s: %d: %s", method, url, resp.StatusCode, msg)
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+// Wire shapes for the slices of the session API the CLI prints. Kept
+// local: the CLI is a daemon client and speaks only the JSON contract.
+type sessionWire struct {
+	ID           string `json:"id"`
+	Rows         int    `json:"rows"`
+	LeafPatterns int    `json:"leaf_patterns"`
+	Levels       int    `json:"levels"`
+	Generation   uint64 `json:"generation"`
+	Labeled      bool   `json:"labeled"`
+	Stale        bool   `json:"stale"`
+	Appended     int    `json:"appended"`
+}
+
+type sessionClustersWire struct {
+	Clusters []struct {
+		Pattern string `json:"pattern"`
+		NL      string `json:"nl"`
+		Count   int    `json:"count"`
+		Sample  string `json:"sample"`
+	} `json:"clusters"`
+}
+
+type sessionLabelWire struct {
+	Ops []struct {
+		NL          string `json:"nl"`
+		Replacement string `json:"replacement"`
+		Source      string `json:"source"`
+	} `json:"ops"`
+	Sources []struct {
+		Index   int    `json:"index"`
+		Pattern string `json:"pattern"`
+		Plans   int    `json:"plans"`
+	} `json:"sources"`
+	Flagged    []int  `json:"flagged"`
+	Generation uint64 `json:"generation"`
+}
+
+type sessionCandidatesWire struct {
+	Candidates []struct {
+		Source       int     `json:"source"`
+		Alt          int     `json:"alt"`
+		NL           string  `json:"nl"`
+		Replacement  string  `json:"replacement"`
+		Residual     int     `json:"residual"`
+		EditDistance int     `json:"edit_distance"`
+		DL           float64 `json:"dl"`
+		Score        float64 `json:"score"`
+		Selected     bool    `json:"selected"`
+	} `json:"candidates"`
+}
+
+type sessionCommitWire struct {
+	ID      string `json:"id"`
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+	Target  string `json:"target"`
+	Flagged []int  `json:"flagged"`
+}
+
+// runSession drives the interactive loop against the daemon at c.addr
+// with the already-read column as the session's seed.
+func runSession(stdout, stderr io.Writer, c sessionCLI, data []string) error {
+	if c.addr == "" {
+		return fmt.Errorf("session requires -addr <daemon base URL>")
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("session requires a non-empty input column")
+	}
+	base := strings.TrimRight(c.addr, "/")
+
+	var sess sessionWire
+	if err := sessionHTTP("POST", base+"/v1/sessions",
+		map[string][]string{"rows": data}, &sess); err != nil {
+		return err
+	}
+	sessURL := base + "/v1/sessions/" + sess.ID
+	fmt.Fprintf(stdout, "session %s: %d rows, %d leaf patterns, %d levels\n",
+		sess.ID, sess.Rows, sess.LeafPatterns, sess.Levels)
+	// Past this point the session exists server-side; clean it up on any
+	// exit path unless the user asked to keep it for later requests.
+	defer func() {
+		if c.keep {
+			fmt.Fprintf(stdout, "kept session %s on %s\n", sess.ID, base)
+			return
+		}
+		if err := sessionHTTP("DELETE", sessURL, nil, nil); err != nil {
+			fmt.Fprintln(stderr, "clx: session delete:", err)
+		}
+	}()
+
+	var clusters sessionClustersWire
+	if err := sessionHTTP("GET", sessURL+"/clusters", nil, &clusters); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "clusters:")
+	for _, cl := range clusters.Clusters {
+		fmt.Fprintf(stdout, "  %-30s %4d rows  e.g. %q\n", cl.Pattern, cl.Count, cl.Sample)
+	}
+
+	if c.appendFile != "" {
+		rows, err := readColumn(c.appendFile, strings.NewReader(""), c.csvMode, c.col, c.header)
+		if err != nil {
+			return err
+		}
+		var ap sessionWire
+		if err := sessionHTTP("POST", sessURL+"/append",
+			map[string][]string{"rows": rows}, &ap); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "appended %d rows (%d total, generation %d)\n",
+			ap.Appended, ap.Rows, ap.Generation)
+	}
+
+	if c.target == "" {
+		if c.repairSpec != "" || c.examples != "" || c.commit {
+			return fmt.Errorf("session -repair/-examples/-commit require -target")
+		}
+		return nil
+	}
+
+	var label sessionLabelWire
+	if err := sessionHTTP("POST", sessURL+"/label",
+		map[string]string{"target": c.target}, &label); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "labeled %q: %d ops, %d flagged rows (generation %d)\n",
+		c.target, len(label.Ops), len(label.Flagged), label.Generation)
+	for i, op := range label.Ops {
+		fmt.Fprintf(stdout, "  op %d: %s -> %s\n", i, op.NL, op.Replacement)
+	}
+	for _, src := range label.Sources {
+		fmt.Fprintf(stdout, "  source %d: %s (%d ranked plans)\n", src.Index, src.Pattern, src.Plans)
+	}
+
+	if c.candidates >= 0 {
+		var cands sessionCandidatesWire
+		if err := sessionHTTP("GET",
+			fmt.Sprintf("%s/repair?source=%d", sessURL, c.candidates), nil, &cands); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "repair candidates for source %d (best first):\n", c.candidates)
+		fmt.Fprintf(stdout, "    %-4s %-9s %-5s %-9s %s\n", "alt", "residual", "edit", "score", "replacement")
+		for _, cd := range cands.Candidates {
+			mark := " "
+			if cd.Selected {
+				mark = "*"
+			}
+			fmt.Fprintf(stdout, "  %s %-4d %-9d %-5d %-9.2f %s\n",
+				mark, cd.Alt, cd.Residual, cd.EditDistance, cd.Score, cd.Replacement)
+		}
+	}
+
+	if c.repairSpec != "" {
+		for _, part := range strings.Split(c.repairSpec, ",") {
+			var srcIdx, alt int
+			if _, err := fmt.Sscanf(part, "%d=%d", &srcIdx, &alt); err != nil {
+				return fmt.Errorf("bad repair %q, want source=alt", part)
+			}
+			if err := sessionHTTP("POST", sessURL+"/repair",
+				map[string]int{"source": srcIdx, "alt": alt}, &label); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "repaired source %d -> alt %d (%d flagged rows)\n",
+				srcIdx, alt, len(label.Flagged))
+		}
+	}
+
+	if c.examples != "" {
+		ex := map[string]string{}
+		for _, pair := range strings.Split(c.examples, ",") {
+			in, out, ok := strings.Cut(pair, "=>")
+			if !ok {
+				return fmt.Errorf("bad example %q, want input=>output", pair)
+			}
+			ex[in] = out
+		}
+		if err := sessionHTTP("POST", sessURL+"/repair",
+			map[string]map[string]string{"examples": ex}, &label); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "repaired from %d examples (%d flagged rows)\n",
+			len(ex), len(label.Flagged))
+	}
+
+	if c.commit {
+		var entry sessionCommitWire
+		if err := sessionHTTP("POST", sessURL+"/commit",
+			map[string]string{"name": c.commitName}, &entry); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "committed program %s v%d (name %q, target %s, %d flagged)\n",
+			entry.ID, entry.Version, entry.Name, entry.Target, len(entry.Flagged))
+	}
+	return nil
+}

@@ -3,6 +3,7 @@
 //
 //	clxd -addr :8080 [-workers n] [-store dir] [-pprof addr]
 //	     [-log-format text|json] [-max-streams n] [-followers urls]
+//	     [-session-ttl d] [-max-sessions n]
 //
 //	POST /v1/cluster    {"rows": [...]}                 -> pattern clusters
 //	POST /v1/transform  {"rows": [...], "target": "…",  -> program + output
@@ -60,6 +61,28 @@
 //	    string per transformed row in input order, flushed per chunk, then
 //	    a trailer object with stream stats ({"done":true,...}) or an error
 //	    frame if the source failed mid-stream
+//
+// Stateful interactive sessions hold the paper's cluster → label →
+// transform → verify → repair loop server-side across requests, with
+// incremental re-profiling on append and quantitatively-ranked repair
+// candidates:
+//
+//	POST   /v1/sessions                {"rows": [...]} -> session id + profile
+//	GET    /v1/sessions                registry listing (metadata only)
+//	GET    /v1/sessions/{id}           profile, generation, staleness
+//	GET    /v1/sessions/{id}/clusters  pattern hierarchy (?level=N)
+//	POST   /v1/sessions/{id}/append    {"rows": [...]} incremental re-profile
+//	POST   /v1/sessions/{id}/label     {"target": "…"} synthesize + install
+//	GET    /v1/sessions/{id}/repair    ?source=N ranked candidate plans
+//	POST   /v1/sessions/{id}/repair    {"source":i,"alt":j} or {"examples":{…}}
+//	POST   /v1/sessions/{id}/commit    register into the program registry
+//	DELETE /v1/sessions/{id}
+//
+// Sessions idle past -session-ttl are evicted; at most -max-sessions
+// are held at once, and creates past the cap answer 429 with a
+// Retry-After estimating the next expiry. A transformation labeled
+// before an append answers 409 on repair/commit until re-labeled —
+// staleness is an API-visible protocol, not a silent re-synthesis.
 //
 // With -followers <url,url,...> the daemon is a cluster replication
 // leader: every program registration and deletion is shipped as WAL
@@ -124,6 +147,12 @@ func main() {
 	followersFlag := flag.String("followers", "",
 		"comma-separated follower base URLs; when set this node is a replication "+
 			"leader and ships every registry write to them before acknowledging")
+	sessionTTL := flag.Duration("session-ttl", 0,
+		"idle lifetime of an interactive /v1/sessions session before eviction "+
+			"(0 = 15m default, negative disables eviction)")
+	maxSessions := flag.Int("max-sessions", 0,
+		"concurrent interactive sessions held in memory; creates past the cap get "+
+			"429 + Retry-After (0 = 256 default, negative unbounded)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -162,6 +191,8 @@ func main() {
 		AdmissionBurst: *admissionBurstFlag,
 		Logger:         obs.NewLogger(os.Stderr, *logFormat),
 		Replicator:     repl,
+		SessionTTL:     *sessionTTL,
+		MaxSessions:    *maxSessions,
 	})
 	if err != nil {
 		log.Fatal("clxd: ", err)

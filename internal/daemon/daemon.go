@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	clx "clx"
 	"clx/internal/automaton"
@@ -21,6 +22,7 @@ import (
 	"clx/internal/obs"
 	"clx/internal/progstore"
 	"clx/internal/rematch"
+	"clx/internal/sessionstore"
 	"clx/internal/stream"
 )
 
@@ -44,6 +46,14 @@ var (
 // A var so tests can shrink it.
 var maxBody int64 = 32 << 20
 
+// Interactive-session defaults (see sessionstore). Vars so tests can
+// override them before newServer; external callers use Config.
+var (
+	sessionTTL     = 15 * time.Minute
+	sessionMax     = 256
+	sessionNowFunc func() time.Time // nil = time.Now
+)
+
 // Config sizes one daemon server. The zero value is a working
 // single-node daemon: default options, semaphore admission at 2× CPUs,
 // no logging, no replication.
@@ -64,6 +74,15 @@ type Config struct {
 	// registry write is flushed to the followers before the client is
 	// acknowledged, and the leader's shipping ledger joins /v1/stats.
 	Replicator *fleet.Replicator
+	// SessionTTL is the idle lifetime of interactive sessions: 0 means
+	// the 15m default, negative disables TTL eviction.
+	SessionTTL time.Duration
+	// MaxSessions bounds live interactive sessions (creates past it get
+	// 429 + Retry-After): 0 means the default of 256, negative unbounded.
+	MaxSessions int
+	// SessionNow injects the session-store clock for deterministic
+	// eviction tests; nil means time.Now.
+	SessionNow func() time.Time
 }
 
 // Server is one clxd node: the program registry plus everything around
@@ -83,10 +102,32 @@ type server struct {
 	admission  admissionPolicy
 	streamEWMA durationEWMA
 	repl       *fleet.Replicator
+	sessions   *sessionstore.Store
 
 	admitted atomic.Int64
 	rejected atomic.Int64
 	inFlight atomic.Int64
+
+	sessionRepairs atomic.Int64
+	sessionCommits atomic.Int64
+}
+
+// newSessionStore resolves the session config defaults: ttl 0 → 15m,
+// negative → eviction off; max 0 → 256, negative → unbounded.
+func newSessionStore(ttl time.Duration, max int, now func() time.Time) *sessionstore.Store {
+	switch {
+	case ttl == 0:
+		ttl = 15 * time.Minute
+	case ttl < 0:
+		ttl = 0
+	}
+	switch {
+	case max == 0:
+		max = 256
+	case max < 0:
+		max = 0
+	}
+	return sessionstore.New(sessionstore.Config{TTL: ttl, MaxSessions: max, Now: now})
 }
 
 // New builds a server over st from cfg.
@@ -115,6 +156,7 @@ func New(st *progstore.Store, cfg Config) (*Server, error) {
 		logger:    cfg.Logger,
 		admission: pol,
 		repl:      cfg.Replicator,
+		sessions:  newSessionStore(cfg.SessionTTL, cfg.MaxSessions, cfg.SessionNow),
 	}, nil
 }
 
@@ -131,7 +173,12 @@ func newServer(st *progstore.Store) *server {
 		// programmer error in tests.
 		panic(err)
 	}
-	return &server{store: st, opts: clx.DefaultOptions(), admission: pol}
+	return &server{
+		store:     st,
+		opts:      clx.DefaultOptions(),
+		admission: pol,
+		sessions:  newSessionStore(sessionTTL, sessionMax, sessionNowFunc),
+	}
 }
 
 // Handler is the complete daemon handler: the route mux wrapped in the
@@ -158,6 +205,16 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/programs/{id}", s.handleProgramDelete)
 	mux.HandleFunc("POST /v1/programs/{id}/apply", s.handleProgramApply)
 	mux.HandleFunc("POST /v1/programs/{id}/apply/stream", s.handleProgramApplyStream)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	mux.HandleFunc("GET /v1/sessions/{id}/clusters", s.handleSessionClusters)
+	mux.HandleFunc("POST /v1/sessions/{id}/append", s.handleSessionAppend)
+	mux.HandleFunc("POST /v1/sessions/{id}/label", s.handleSessionLabel)
+	mux.HandleFunc("GET /v1/sessions/{id}/repair", s.handleSessionRepairCandidates)
+	mux.HandleFunc("POST /v1/sessions/{id}/repair", s.handleSessionRepair)
+	mux.HandleFunc("POST /v1/sessions/{id}/commit", s.handleSessionCommit)
 	mux.HandleFunc("POST /v1/replication/wal", s.handleReplicationWAL)
 	mux.HandleFunc("POST /v1/replication/snapshot", s.handleReplicationSnapshot)
 	mux.HandleFunc("GET /v1/replication/status", s.handleReplicationStatus)
@@ -249,7 +306,17 @@ type statsResponse struct {
 	Automaton    automaton.Counters       `json:"automaton"`
 	Admission    admissionStats           `json:"admission"`
 	ProfileIndex clx.ProfileIndexCounters `json:"profile_index"`
+	Sessions     sessionsStats            `json:"sessions"`
 	Replication  replicationSection       `json:"replication"`
+}
+
+// sessionsStats is the interactive-sessions section of /v1/stats: this
+// node's session-store lifecycle ledger (active = created - evicted -
+// deleted, exactly) plus the repair/commit activity its handlers served.
+type sessionsStats struct {
+	sessionstore.Counters
+	Repairs int64 `json:"repairs"`
+	Commits int64 `json:"commits"`
 }
 
 // admissionStats is the admission section of /v1/stats. The counters are
@@ -304,7 +371,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			RetryAfterSeconds: s.streamEWMA.retryAfterSeconds(),
 		},
 		ProfileIndex: clx.ProfileIndexStats(),
-		Replication:  repl,
+		Sessions: sessionsStats{
+			Counters: s.sessions.Stats(),
+			Repairs:  s.sessionRepairs.Load(),
+			Commits:  s.sessionCommits.Load(),
+		},
+		Replication: repl,
 	})
 }
 

@@ -152,6 +152,31 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Interactive sessions are stateful on exactly one node, so session
+	// routing is rendezvous-on-session-id regardless of the configured
+	// policy. Create decides ownership up front: the proxy mints the id
+	// (unless the client pinned one), hands it to the owner via
+	// X-Session-ID, and every follow-up request hashes to the same node.
+	// Two documented limitations in multi-node clusters: GET /v1/sessions
+	// (the list) falls through to the leader below and reports the
+	// leader's sessions only, and a session commit registers the program
+	// on the session's owner node — only commits owned by the leader
+	// replicate to followers (routing follower commits through the leader
+	// needs a raw-program registration hop and is future work).
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/sessions" {
+		id := r.Header.Get("X-Session-ID")
+		if id == "" {
+			id = "s-" + obs.NewRequestID()
+			r.Header.Set("X-Session-ID", id)
+		}
+		p.forwardTo(w, r, p.backends[p.sessionOwner(id)], nil)
+		return
+	}
+	if id, ok := sessionPath(r); ok {
+		p.forwardTo(w, r, p.backends[p.sessionOwner(id)], nil)
+		return
+	}
+
 	if id, ok := streamPath(r); ok {
 		p.serveStream(w, r, id)
 		return
@@ -192,6 +217,27 @@ func applyPath(r *http.Request) (string, bool) {
 		return "", false
 	}
 	return id, true
+}
+
+// sessionPath matches /v1/sessions/{id} and /v1/sessions/{id}/<verb>,
+// any method.
+func sessionPath(r *http.Request) (string, bool) {
+	rest, ok := strings.CutPrefix(r.URL.Path, "/v1/sessions/")
+	if !ok {
+		return "", false
+	}
+	id, _, _ := strings.Cut(rest, "/")
+	return id, id != ""
+}
+
+// sessionOwner resolves a session id to its owning node by rendezvous
+// hash over the stable backend ids.
+func (p *Proxy) sessionOwner(id string) int {
+	snap := make([]routing.Backend, len(p.backends))
+	for i, b := range p.backends {
+		snap[i] = routing.Backend{ID: b.id}
+	}
+	return routing.Rendezvous(id, snap)
 }
 
 // streamPath matches POST /v1/programs/{id}/apply/stream.

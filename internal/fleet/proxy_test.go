@@ -173,3 +173,95 @@ func TestProxyStreamBusyNotRetried(t *testing.T) {
 		t.Fatalf("proxy retries = %d, want 0 for streams", st.Retries)
 	}
 }
+
+// TestProxySessionAffinity pins the session-routing contract: the proxy
+// mints the session id at create time (X-Session-ID), every
+// /v1/sessions/{id}/* request for that id lands on the same node, and a
+// client-pinned id is honored. Round-robin is configured on purpose —
+// session routing must override the policy, because session state lives
+// on exactly one node.
+func TestProxySessionAffinity(t *testing.T) {
+	var mu sync.Mutex
+	headerSeen := map[string]string{} // path -> X-Session-ID forwarded
+	record := func(name string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			headerSeen[name+" "+r.URL.Path] = r.Header.Get("X-Session-ID")
+			mu.Unlock()
+			w.Header().Set("Content-Type", "application/json")
+			io.WriteString(w, `{"ok":true}`+"\n")
+		}
+	}
+	a := newStubNode(t, record("a"))
+	b := newStubNode(t, record("b"))
+	_, front := newStubProxy(t, a, b)
+
+	// Create without a pinned id: the proxy must mint one and hand it to
+	// the routed node.
+	resp, err := http.Post(front.URL+"/v1/sessions", "application/json", strings.NewReader(`{"rows":["x1"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	mu.Lock()
+	var minted string
+	for k, v := range headerSeen {
+		if strings.HasSuffix(k, " /v1/sessions") {
+			minted = v
+		}
+	}
+	mu.Unlock()
+	if minted == "" {
+		t.Fatal("create reached the node without a minted X-Session-ID")
+	}
+	ownerHits := func() (int, int) { return a.hitCount(), b.hitCount() }
+	aBefore, bBefore := ownerHits()
+	owner := a
+	if bBefore > aBefore {
+		owner = b
+	}
+
+	// Every follow-up for the minted id must hit the owner, none the other.
+	other := b
+	if owner == b {
+		other = a
+	}
+	otherBefore := other.hitCount()
+	for _, path := range []string{
+		"/v1/sessions/" + minted,
+		"/v1/sessions/" + minted + "/clusters",
+		"/v1/sessions/" + minted + "/repair?source=0",
+	} {
+		resp, err := http.Get(front.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if got := other.hitCount(); got != otherBefore {
+		t.Fatalf("non-owner node saw %d session requests", got-otherBefore)
+	}
+
+	// A client-pinned id is honored verbatim and routed consistently.
+	req, _ := http.NewRequest("POST", front.URL+"/v1/sessions", strings.NewReader(`{"rows":["x1"]}`))
+	req.Header.Set("X-Session-ID", "s-client-pin")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	mu.Lock()
+	pinForwarded := false
+	for _, v := range headerSeen {
+		if v == "s-client-pin" {
+			pinForwarded = true
+		}
+	}
+	mu.Unlock()
+	if !pinForwarded {
+		t.Fatal("client-pinned X-Session-ID not forwarded")
+	}
+}

@@ -101,10 +101,21 @@ type Affinity struct{}
 func (Affinity) Name() string { return "affinity" }
 
 func (Affinity) Pick(programID string, backends []Backend) int {
+	return Rendezvous(programID, backends)
+}
+
+// Rendezvous returns the index of key's stable owner among backends by
+// highest-random-weight hashing. It is the shared pinning primitive:
+// the affinity policy runs it over program ids as a cache-locality
+// optimization, and the proxy runs it over session ids as a correctness
+// requirement — interactive session state lives on exactly one node, so
+// every /v1/sessions/{id}/* request must resolve to the same owner for
+// as long as the node set stands.
+func Rendezvous(key string, backends []Backend) int {
 	best, bestW := 0, uint64(0)
 	for i, b := range backends {
 		h := fnv.New64a()
-		h.Write([]byte(programID))
+		h.Write([]byte(key))
 		h.Write([]byte{0xff}) // separator: ("ab","c") must not collide with ("a","bc")
 		h.Write([]byte(b.ID))
 		if w := h.Sum64(); i == 0 || w > bestW {

@@ -146,3 +146,26 @@ func TestAffinityEmptyProgramIDIsStable(t *testing.T) {
 		}
 	}
 }
+
+// Rendezvous is the exported pinning primitive behind both the affinity
+// policy (program ids) and the proxy's session routing (session ids):
+// the two must agree exactly, and keys must spread across nodes.
+func TestRendezvousMatchesAffinityAndSpreads(t *testing.T) {
+	bs := backends(4)
+	owners := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("s-%d", i)
+		want := Affinity{}.Pick(key, bs)
+		got := Rendezvous(key, bs)
+		if got != want {
+			t.Fatalf("Rendezvous(%q) = %d, Affinity.Pick = %d", key, got, want)
+		}
+		if again := Rendezvous(key, bs); again != got {
+			t.Fatalf("Rendezvous(%q) unstable: %d then %d", key, got, again)
+		}
+		owners[got] = true
+	}
+	if len(owners) != len(bs) {
+		t.Errorf("200 keys landed on %d of %d nodes", len(owners), len(bs))
+	}
+}

@@ -1,0 +1,131 @@
+// End-to-end session loop through the cluster front: the proxy mints
+// the session id, pins every follow-up to the owner, and the committed
+// program serves /v1/programs/{id}/apply through the proxy with output
+// byte-identical to the library path.
+package fleet_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	clx "clx"
+	"clx/internal/fleet/fleettest"
+)
+
+func proxyJSON(t *testing.T, method, url, body string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: unmarshal %s: %v", method, url, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestClusterSessionLoop(t *testing.T) {
+	// A single-node cluster exercises the whole proxy session path —
+	// minted id, rendezvous pinning, commit — without the follower-commit
+	// caveat (see the proxy's session routing comment): with one node the
+	// owner is always the leader.
+	c := fleettest.New(t, fleettest.Options{Nodes: 1, Policy: "round-robin"})
+	base := c.URL()
+
+	var created struct {
+		ID   string `json:"id"`
+		Rows int    `json:"rows"`
+	}
+	if code := proxyJSON(t, "POST", base+"/v1/sessions",
+		`{"rows":["31/12/2019","28/02/2020","12-31-2019"]}`, &created); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	if created.ID == "" || created.Rows != 3 {
+		t.Fatalf("created = %+v (the proxy should have minted an id)", created)
+	}
+	sess := base + "/v1/sessions/" + created.ID
+
+	var clusters struct {
+		Clusters []struct {
+			Pattern string `json:"pattern"`
+		} `json:"clusters"`
+	}
+	if code := proxyJSON(t, "GET", sess+"/clusters", "", &clusters); code != http.StatusOK || len(clusters.Clusters) == 0 {
+		t.Fatalf("clusters: %d %+v", code, clusters)
+	}
+
+	if code := proxyJSON(t, "POST", sess+"/append", `{"rows":["01/07/2021"]}`, nil); code != http.StatusOK {
+		t.Fatalf("append: %d", code)
+	}
+	if code := proxyJSON(t, "POST", sess+"/label", `{"target":"<D>2'-'<D>2'-'<D>4"}`, nil); code != http.StatusOK {
+		t.Fatalf("label: %d", code)
+	}
+
+	var cands struct {
+		Candidates []struct {
+			Source   int  `json:"source"`
+			Alt      int  `json:"alt"`
+			Selected bool `json:"selected"`
+		} `json:"candidates"`
+	}
+	if code := proxyJSON(t, "GET", sess+"/repair?source=0", "", &cands); code != http.StatusOK || len(cands.Candidates) < 2 {
+		t.Fatalf("candidates: %d %+v", code, cands)
+	}
+	pick := cands.Candidates[0]
+	if pick.Selected {
+		pick = cands.Candidates[1]
+	}
+	if code := proxyJSON(t, "POST", sess+"/repair",
+		fmt.Sprintf(`{"source":%d,"alt":%d}`, pick.Source, pick.Alt), nil); code != http.StatusOK {
+		t.Fatalf("repair: %d", code)
+	}
+
+	var entry struct {
+		ID string `json:"id"`
+	}
+	if code := proxyJSON(t, "POST", sess+"/commit", `{"name":"cluster-dates"}`, &entry); code != http.StatusCreated || entry.ID == "" {
+		t.Fatalf("commit: %d %+v", code, entry)
+	}
+
+	// Byte-parity through the proxy's policy-routed apply.
+	lib := clx.NewSession([]string{"31/12/2019", "28/02/2020", "12-31-2019", "01/07/2021"})
+	tr, err := lib.Label(clx.MustParsePattern("<D>2'-'<D>2'-'<D>4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Repair(pick.Source, pick.Alt); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := tr.Run()
+
+	var applied struct {
+		Output []string `json:"output"`
+	}
+	if code := proxyJSON(t, "POST", base+"/v1/programs/"+entry.ID+"/apply",
+		`{"rows":["31/12/2019","28/02/2020","12-31-2019","01/07/2021"]}`, &applied); code != http.StatusOK {
+		t.Fatalf("apply: %d", code)
+	}
+	if len(applied.Output) != len(want) {
+		t.Fatalf("apply rows = %d, want %d", len(applied.Output), len(want))
+	}
+	for i := range want {
+		if applied.Output[i] != want[i] {
+			t.Fatalf("parity broken at row %d: %q != %q", i, applied.Output[i], want[i])
+		}
+	}
+}
